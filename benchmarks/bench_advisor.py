@@ -1,0 +1,71 @@
+"""Validate the performance advisor against the simulator.
+
+The advisor (``repro.core.advisor`` — the tool the paper's conclusion asks
+for) predicts each strategy's plateau analytically.  This benchmark runs
+the simulator at plateau MPL for every PostgreSQL strategy and checks that
+
+* the predicted/measured ratio stays within 25 % per strategy, and
+* the advisor's *ranking* agrees with the simulator's on every pair that
+  differs by more than the simulation noise.
+"""
+
+from __future__ import annotations
+
+from repro.core.advisor import predict, recommend
+from repro.sim.platform import commercial_platform, postgres_platform
+from repro.sim.runner import SimulationConfig, run_once
+from repro.workload.mix import UNIFORM_MIX
+
+STRATEGIES = (
+    "base-si",
+    "materialize-wt",
+    "promote-wt-upd",
+    "materialize-bw",
+    "promote-bw-upd",
+    "materialize-all",
+    "promote-all",
+)
+
+
+def test_advisor_vs_simulator(benchmark):
+    platform = postgres_platform()
+
+    def run() -> dict[str, tuple[float, float]]:
+        results = {}
+        for key in STRATEGIES:
+            predicted = predict(key, platform, UNIFORM_MIX).plateau_tps
+            measured = run_once(
+                SimulationConfig(strategy=key, mpl=25, measure=1.5,
+                                 ramp_up=0.2)
+            ).tps
+            results[key] = (predicted, measured)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for key, (predicted, measured) in results.items():
+        error = (measured - predicted) / predicted * 100
+        print(f"  {key:>16}: predicted {predicted:6.0f}, "
+              f"measured {measured:6.0f} ({error:+5.1f}%)")
+        assert abs(error) < 25, key
+    # Ranking agreement on clearly separated pairs (>8% predicted gap).
+    for a, (pred_a, meas_a) in results.items():
+        for b, (pred_b, meas_b) in results.items():
+            if pred_a > pred_b * 1.08:
+                assert meas_a > meas_b * 0.95, (a, b)
+
+
+def test_advisor_recommendations_match_paper_guidelines(benchmark):
+    def run() -> tuple[str, str]:
+        postgres = recommend(postgres_platform(), UNIFORM_MIX)
+        commercial = recommend(commercial_platform(), UNIFORM_MIX)
+        return postgres.best.strategy_key, commercial.best.strategy_key
+
+    pg_best, com_best = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  postgres -> {pg_best}; commercial -> {com_best}")
+    # Guideline: fix WT, not BW; promotion on PG, SFU/materialize on
+    # the commercial platform.
+    assert "wt" in pg_best
+    assert "wt" in com_best
+    assert pg_best == "promote-wt-upd"
+    assert com_best in ("promote-wt-sfu", "materialize-wt")

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrate itself (real wall-clock timings).
+
+Not paper figures — these track the engine/analysis layers' raw speed so
+regressions in the substrate are visible independently of the simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import MultiVersionSerializationGraph, record_database
+from repro.core import build_sdg
+from repro.engine import EngineConfig, Session
+from repro.smallbank import (
+    PopulationConfig,
+    build_database,
+    customer_name,
+    get_strategy,
+    smallbank_specs,
+)
+
+
+def test_snapshot_read(benchmark):
+    db = build_database(population=PopulationConfig(customers=100))
+    session = Session(db)
+    session.begin()
+
+    benchmark(lambda: session.select("Saving", 42))
+
+
+def test_update_commit_cycle(benchmark):
+    db = build_database(population=PopulationConfig(customers=100))
+
+    def cycle():
+        session = Session(db)
+        session.begin("bench")
+        session.update("Checking", 7, lambda r: {"Balance": r["Balance"] + 1})
+        session.commit()
+
+    benchmark(cycle)
+
+
+def test_writecheck_transaction(benchmark):
+    db = build_database(population=PopulationConfig(customers=100))
+    txns = get_strategy("base-si").transactions()
+    name = customer_name(13)
+
+    def run():
+        txns.run(Session(db), "WriteCheck", {"N": name, "V": 1.0})
+
+    benchmark(run)
+
+
+def test_sdg_construction(benchmark):
+    specs = smallbank_specs()
+    sdg = benchmark(lambda: build_sdg(specs))
+    assert not sdg.is_si_serializable()
+
+
+def test_strategy_application(benchmark):
+    strategy = get_strategy("materialize-all")
+    specs, mods = benchmark(strategy.apply)
+    assert len(mods) == 6
+
+
+def test_mvsg_checking_of_large_history(benchmark):
+    """Build + cycle-check an MVSG over a few thousand transactions."""
+    db = build_database(
+        EngineConfig.postgres(), PopulationConfig(customers=50)
+    )
+    recorder = record_database(db)
+    rng = random.Random(3)
+    txns = get_strategy("base-si").transactions()
+    for _ in range(2000):
+        session = Session(db)
+        cid = rng.randint(1, 50)
+        txns.run(
+            session,
+            "DepositChecking",
+            {"N": customer_name(cid), "V": 1.0},
+        )
+    history = list(recorder.committed)
+
+    def check():
+        graph = MultiVersionSerializationGraph(history)
+        return graph.find_cycle()
+
+    assert benchmark(check) is None

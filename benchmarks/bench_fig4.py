@@ -1,0 +1,11 @@
+"""Figure 4: eliminating ALL vulnerable edges (PostgreSQL)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_figure, reduced
+from repro.bench.figures import FIG4
+
+
+def test_fig4(benchmark):
+    result = bench_figure(benchmark, reduced(FIG4))
+    assert result.all_claims_hold, result.render()

@@ -1,0 +1,11 @@
+"""Figure 5: eliminating the BW and WT vulnerabilities (PostgreSQL)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_figure, reduced
+from repro.bench.figures import FIG5
+
+
+def test_fig5(benchmark):
+    result = bench_figure(benchmark, reduced(FIG5))
+    assert result.all_claims_hold, result.render()

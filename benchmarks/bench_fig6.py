@@ -1,0 +1,11 @@
+"""Figure 6: per-program abort rates at MPL 20 (PostgreSQL)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_figure
+from repro.bench.figures import FIG6
+
+
+def test_fig6(benchmark):
+    result = bench_figure(benchmark, FIG6, repetitions=2, measure=2.0)
+    assert result.all_claims_hold, result.render()

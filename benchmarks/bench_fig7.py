@@ -1,0 +1,11 @@
+"""Figure 7: high contention (hotspot 10, 60% Balance; PostgreSQL)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_figure, reduced
+from repro.bench.figures import FIG7
+
+
+def test_fig7(benchmark):
+    result = bench_figure(benchmark, reduced(FIG7, mpls=(5, 15, 25, 30)))
+    assert result.all_claims_hold, result.render()

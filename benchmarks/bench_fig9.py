@@ -1,0 +1,13 @@
+"""Figure 9: BW strategies on the commercial platform."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_figure, reduced
+from repro.bench.figures import FIG9
+
+
+def test_fig9(benchmark):
+    result = bench_figure(
+        benchmark, reduced(FIG9, mpls=(1, 10, 15, 20, 25, 30))
+    )
+    assert result.all_claims_hold, result.render()

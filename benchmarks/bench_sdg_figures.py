@@ -1,0 +1,14 @@
+"""Figures 1-3: the SDG analysis (static derivation benchmark)."""
+
+from __future__ import annotations
+
+from repro.bench.static import render_sdg_figures
+
+
+def test_sdg_figures(benchmark):
+    rendered = benchmark.pedantic(render_sdg_figures, rounds=1, iterations=1)
+    print()
+    print(rendered)
+    assert "Balance -(v)-> WriteCheck -(v)-> TransactSaving" in rendered
+    # Every post-fix SDG must certify serializability.
+    assert rendered.count("no dangerous structure") == 4

@@ -1,0 +1,19 @@
+"""Table I: overview of tables updated with each option (derived)."""
+
+from __future__ import annotations
+
+from repro.bench.static import render_table1
+from repro.smallbank.strategies import get_strategy
+
+
+def test_table1(benchmark):
+    rendered = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print()
+    print(rendered)
+    # Spot-check the derivation against the paper's printed table.
+    assert get_strategy("promote-all").table_one_row()["Balance"] == (
+        "Checking",
+        "Saving",
+    )
+    assert "MaterializeALL" in rendered
+    assert rendered.count("Conf") >= 9  # 2 (WT) + 2 (BW) + 5 (ALL)

@@ -1,0 +1,53 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one paper table/figure on a reduced grid
+(fewer repetitions and a shorter measurement window than the paper's
+5 x 60 s — the *shape* checks are unaffected) and asserts the figure's
+qualitative claims.  ``pedantic(rounds=1)`` keeps pytest-benchmark from
+re-running multi-second simulations; the recorded time is the cost of
+regenerating the figure.
+
+For paper-fidelity numbers run ``python -m repro.bench <figure>
+--paper-scale --reps 5 --measure 60 --ramp-up 30``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.figures import FigureResult, FigureSpec, run_figure
+
+#: Reduced MPL grids per figure (keep endpoints + the knee region).
+REDUCED_MPLS = (1, 10, 20, 30)
+
+
+def reduced(spec: FigureSpec, mpls: "tuple[int, ...] | None" = None) -> FigureSpec:
+    if len(spec.mpls) == 1:  # single-point figures (fig6) stay as-is
+        return spec
+    wanted = mpls if mpls is not None else REDUCED_MPLS
+    kept = tuple(m for m in spec.mpls if m in wanted) or spec.mpls
+    return replace(spec, mpls=kept)
+
+
+def bench_figure(
+    benchmark,
+    spec: FigureSpec,
+    *,
+    repetitions: int = 1,
+    measure: float = 1.5,
+) -> FigureResult:
+    result = benchmark.pedantic(
+        lambda: run_figure(spec, repetitions=repetitions, measure=measure),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def figure_runner():
+    return bench_figure

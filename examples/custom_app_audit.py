@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Audit-and-fix workflow for your own application mix.
+
+This is the DBA workflow the paper's guidelines describe, applied to an
+application that is *not* SmallBank — a small ticket-booking system:
+
+* ``CheckAvailability(e)`` — read-only dashboard over an event's seat
+  count and its waitlist length;
+* ``BookSeat(e)`` — reads seats and waitlist, decrements seats;
+* ``JoinWaitlist(e)`` — reads seats (only full events get a waitlist),
+  increments the waitlist row;
+* ``CloseEvent(e)`` — zeroes both (reads-then-writes both rows).
+
+The script builds the SDG, finds the dangerous structures, asks the
+minimal-fix search for the cheapest repair with each method, applies the
+paper's Guideline 2/3 reasoning, and verifies the result.
+
+Run:  python examples/custom_app_audit.py
+"""
+
+from repro.core import (
+    ProgramSet,
+    ProgramSpec,
+    build_sdg,
+    greedy_fix,
+    materialize_all,
+    minimal_fix,
+    read,
+    write,
+)
+
+mix = ProgramSet(
+    [
+        ProgramSpec(
+            "CheckAvailability",
+            ("e",),
+            (read("Seats", "e", "Free"), read("Waitlist", "e", "Len")),
+            description="dashboard (read-only)",
+        ),
+        ProgramSpec(
+            "BookSeat",
+            ("e",),
+            (
+                read("Seats", "e", "Free"),
+                read("Waitlist", "e", "Len"),
+                write("Seats", "e", "Free"),
+            ),
+            description="take a seat if the waitlist allows it",
+        ),
+        ProgramSpec(
+            "JoinWaitlist",
+            ("e",),
+            (
+                read("Seats", "e", "Free"),
+                read("Waitlist", "e", "Len"),
+                write("Waitlist", "e", "Len"),
+            ),
+            description="queue for a full event",
+        ),
+        ProgramSpec(
+            "CloseEvent",
+            ("e",),
+            (
+                read("Seats", "e", "Free"),
+                write("Seats", "e", "Free"),
+                read("Waitlist", "e", "Len"),
+                write("Waitlist", "e", "Len"),
+            ),
+            description="close an event",
+        ),
+    ],
+    name="ticket-booking",
+)
+
+print("=== Step 1: build the SDG ===")
+sdg = build_sdg(mix)
+print(sdg.describe())
+print()
+print("Graphviz available via sdg.to_dot():")
+print(sdg.to_dot())
+
+assert not sdg.is_si_serializable(), "this mix is intentionally unsafe"
+structures = sdg.dangerous_structures()
+print(f"\n{len(structures)} dangerous structures; pivots: {sdg.pivots()}")
+
+print("\n=== Step 2: minimal fixes per method ===")
+for method in ("materialize", "promote-upd"):
+    plan = minimal_fix(mix, method=method)
+    print(f"  {method:>12}: fix {plan.describe()}")
+    fixed_sdg = build_sdg(plan.programs)
+    assert fixed_sdg.is_si_serializable()
+    readonly_touched = any(
+        mix[m.program].is_read_only for m in plan.modifications
+    )
+    note = (
+        "touches a read-only program (Guideline 2 warns about this!)"
+        if readonly_touched
+        else "keeps read-only programs untouched (good: Guideline 2)"
+    )
+    print(f"               -> serializable; {note}")
+
+print("\n=== Step 3: greedy heuristic on the same mix ===")
+plan = greedy_fix(mix, method="promote-upd")
+print(f"  greedy: {plan.describe()}")
+assert build_sdg(plan.programs).is_si_serializable()
+
+print("\n=== Step 4: the SDG-blind alternative, for comparison ===")
+blind, modifications = materialize_all(mix)
+print(
+    f"  MaterializeALL needs {len(modifications)} modifications "
+    f"(vs {len(plan.modifications)} for the targeted fix) and makes "
+    "the dashboard transaction an updater -- the configuration the "
+    "paper measured at up to 60% throughput loss."
+)
+assert build_sdg(blind).is_si_serializable()
+
+print("\nAudit complete: ship the targeted fix, not the blind one.")

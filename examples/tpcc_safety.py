@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Why TPC-C never needed fixing: the contrast that motivates SmallBank.
+
+The paper's introduction: TPC-C "always give[s] serializable
+[executions], even when the platform uses SI" — which is exactly why the
+authors had to contrive SmallBank to study the fixing strategies at all.
+This example walks the structural comparison.
+
+Run:  python examples/tpcc_safety.py
+"""
+
+from repro.apps.tpcc import tpcc_sdg
+from repro.core import build_sdg
+from repro.smallbank import smallbank_specs
+
+print("=== TPC-C (column-granularity dataflow, as in TODS 2005) ===")
+sdg = tpcc_sdg(column_granularity=True)
+print(sdg.describe())
+assert sdg.is_si_serializable()
+
+print()
+print(
+    "Note the shape: TPC-C *has* vulnerable edges (from its two read-only\n"
+    "programs, OrderStatus and StockLevel), but every updater reads an\n"
+    "item only if it also writes it -- so no vulnerable edge ever leaves\n"
+    "an updater, no two vulnerable edges are consecutive, and the main\n"
+    "theorem certifies every SI execution serializable."
+)
+
+print()
+print("=== The same analysis at row granularity (too coarse) ===")
+coarse = tpcc_sdg(column_granularity=False)
+print(
+    f"dangerous structures found: {len(coarse.dangerous_structures())} "
+    "(all spurious: NewOrder's customer-discount read collides with\n"
+    "Payment's balance write only at row level; the columns are disjoint)"
+)
+assert not coarse.is_si_serializable()
+
+print()
+print("=== SmallBank, for contrast ===")
+smallbank = build_sdg(smallbank_specs(), column_granularity=True)
+structures = smallbank.dangerous_structures()
+print(f"dangerous structures: {[str(s) for s in structures]}")
+assert not smallbank.is_si_serializable()
+print(
+    "\nSmallBank's WriteCheck breaks the TPC-C pattern on purpose: it\n"
+    "reads Saving without writing it, so the read-only Balance edge into\n"
+    "WriteCheck is followed by the vulnerable WriteCheck->TransactSaving\n"
+    "edge -- the dangerous structure every strategy in the paper exists\n"
+    "to destroy."
+)

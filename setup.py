@@ -1,0 +1,8 @@
+"""Legacy entry point so ``pip install -e .`` works without ``wheel``.
+
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

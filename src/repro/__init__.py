@@ -1,0 +1,28 @@
+"""repro — reproduction of *The Cost of Serializability on Platforms That
+Use Snapshot Isolation* (Alomari, Cahill, Fekete, Röhm; ICDE 2008).
+
+The package contains everything the paper's evaluation rests on, built from
+scratch:
+
+* :mod:`repro.engine` — an in-memory MVCC engine with Snapshot Isolation
+  (first-updater-wins and first-committer-wins), both platform flavours of
+  ``SELECT FOR UPDATE``, strict 2PL, and an SSI certifier extension.
+* :mod:`repro.core` — the Static Dependency Graph theory: conflict and
+  vulnerability analysis, dangerous-structure detection, and the
+  materialization / promotion program transformations.
+* :mod:`repro.analysis` — dynamic serializability checking via
+  multi-version serialization graphs, anomaly classification, and a bounded
+  interleaving explorer.
+* :mod:`repro.smallbank` — the SmallBank benchmark (schema, the five
+  programs, and all modification strategies from the paper).
+* :mod:`repro.workload` / :mod:`repro.sim` — the closed-system test driver,
+  both threaded (real concurrency) and on a deterministic discrete-event
+  simulation of the paper's hardware platforms.
+* :mod:`repro.bench` — one experiment per paper table and figure.
+
+Start with ``examples/quickstart.py`` or ``python -m repro.bench list``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

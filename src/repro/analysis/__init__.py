@@ -1,0 +1,76 @@
+"""Dynamic serializability analysis: MVSG checking and exploration.
+
+Check any workload after the fact::
+
+    from repro.analysis import SerializabilityChecker
+
+    checker = SerializabilityChecker(db)
+    ...run transactions...
+    report = checker.report()
+    assert report.serializable, report.describe()
+
+Or model-check a small scenario exhaustively::
+
+    from repro.analysis import InterleavingExplorer, ScriptedProgram
+
+    summary = InterleavingExplorer(make_db, [
+        ScriptedProgram("WriteCheck", wc_body),
+        ScriptedProgram("TransactSaving", ts_body),
+    ]).explore()
+    assert summary.all_serializable
+"""
+
+from repro.analysis.checker import (
+    SerializabilityChecker,
+    SerializabilityReport,
+    check_history,
+    classify_cycle,
+)
+from repro.analysis.extract import (
+    extract_smallbank_specs,
+    extract_spec,
+    extracted_smallbank_program_set,
+    footprint_signature,
+    merge_specs,
+)
+from repro.analysis.explorer import (
+    ExplorationSummary,
+    InterleavingExplorer,
+    ScheduleOutcome,
+    ScriptedProgram,
+)
+from repro.analysis.history import check_history_text, parse_history
+from repro.analysis.mvsg import (
+    Cycle,
+    DependencyEdge,
+    MultiVersionSerializationGraph,
+)
+from repro.analysis.recorder import (
+    CommittedTransaction,
+    ExecutionRecorder,
+    record_database,
+)
+
+__all__ = [
+    "CommittedTransaction",
+    "Cycle",
+    "DependencyEdge",
+    "ExecutionRecorder",
+    "ExplorationSummary",
+    "InterleavingExplorer",
+    "MultiVersionSerializationGraph",
+    "ScheduleOutcome",
+    "ScriptedProgram",
+    "SerializabilityChecker",
+    "SerializabilityReport",
+    "check_history",
+    "check_history_text",
+    "classify_cycle",
+    "extract_smallbank_specs",
+    "extract_spec",
+    "extracted_smallbank_program_set",
+    "footprint_signature",
+    "merge_specs",
+    "parse_history",
+    "record_database",
+]

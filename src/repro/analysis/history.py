@@ -1,0 +1,143 @@
+"""Textbook-style histories, checked with the MVSG analysis.
+
+The SI literature communicates anomalies as one-line schedules, e.g. the
+write-skew history of Berenson et al. (1995)::
+
+    r1(x) r1(y) r2(x) r2(y) w1(x) w2(y) c1 c2
+
+:func:`parse_history` turns that notation into
+:class:`~repro.analysis.recorder.CommittedTransaction` footprints (reads
+resolve against the versions committed so far, exactly as an SI engine
+would serve them), and :func:`check_history_text` runs the serializability
+checker on the result — so every classic example from the papers can be
+validated in one line, without building a database.
+
+Grammar (whitespace-separated operations):
+
+* ``rT(x)`` — transaction ``T`` reads item ``x``;
+* ``wT(x)`` — transaction ``T`` writes item ``x``;
+* ``cT``    — ``T`` commits; ``aT`` — ``T`` aborts.
+
+Transaction ids are positive integers; item names are identifiers.  Each
+transaction's snapshot is the history position of its first operation
+(SI: reads see the last version committed before the snapshot).  Writes
+become visible at the commit position.  Operations after a commit/abort,
+or commits of transactions that never did anything, are rejected.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.checker import SerializabilityReport, check_history
+from repro.analysis.recorder import CommittedTransaction
+from repro.errors import AnalysisError
+
+_OP_RE = re.compile(
+    r"^(?:(?P<kind>[rw])(?P<txid>\d+)\((?P<item>[A-Za-z_][A-Za-z0-9_]*)\)"
+    r"|(?P<end>[ca])(?P<end_txid>\d+))$"
+)
+
+_TABLE = "H"  # histories live in one implicit table
+
+
+class _TxnState:
+    __slots__ = ("txid", "start", "reads", "writes", "finished")
+
+    def __init__(self, txid: int, start: int) -> None:
+        self.txid = txid
+        self.start = start
+        self.reads: dict[str, int] = {}
+        self.writes: list[str] = []
+        self.finished = False
+
+
+def parse_history(text: str) -> list[CommittedTransaction]:
+    """Parse a schedule and return the committed transactions' footprints.
+
+    Reads are resolved under SI semantics: a read of ``x`` by ``T`` sees
+    the newest version of ``x`` committed before T's snapshot (T's own
+    writes shadow that, and are excluded from the footprint like the
+    recorder does).  Timestamps are history positions (1-based), commits
+    at position ``i`` get commit timestamp ``i``.
+    """
+    transactions: dict[int, _TxnState] = {}
+    committed: list[CommittedTransaction] = []
+    # item -> list of (commit position, writer txid), ascending.
+    versions: dict[str, list[tuple[int, int]]] = {}
+
+    def state_for(txid: int, position: int) -> _TxnState:
+        state = transactions.get(txid)
+        if state is None:
+            state = _TxnState(txid, position)
+            transactions[txid] = state
+        if state.finished:
+            raise AnalysisError(
+                f"operation on finished transaction {txid} at {position}"
+            )
+        return state
+
+    tokens = text.split()
+    if not tokens:
+        raise AnalysisError("empty history")
+    for position, token in enumerate(tokens, start=1):
+        match = _OP_RE.match(token)
+        if match is None:
+            raise AnalysisError(f"cannot parse history token {token!r}")
+        if match["kind"] is not None:
+            txid = int(match["txid"])
+            item = match["item"]
+            state = state_for(txid, position)
+            if match["kind"] == "r":
+                if item in state.writes:
+                    continue  # own-write read: excluded, like the recorder
+                visible = 0
+                for commit_position, _writer in versions.get(item, ()):
+                    if commit_position <= state.start:
+                        visible = commit_position
+                state.reads.setdefault(item, visible)
+            else:
+                if item not in state.writes:
+                    state.writes.append(item)
+        else:
+            txid = int(match["end_txid"])
+            state = transactions.get(txid)
+            if state is None:
+                raise AnalysisError(
+                    f"transaction {txid} ends at {position} without operations"
+                )
+            if state.finished:
+                raise AnalysisError(f"transaction {txid} ends twice")
+            state.finished = True
+            if match["end"] == "a":
+                continue
+            for item in state.writes:
+                versions.setdefault(item, []).append((position, txid))
+            committed.append(
+                CommittedTransaction(
+                    txid=txid,
+                    label=f"T{txid}",
+                    start_ts=state.start,
+                    snapshot_ts=state.start,
+                    commit_ts=position,
+                    reads=tuple(
+                        ((_TABLE, item), version_ts)
+                        for item, version_ts in sorted(state.reads.items())
+                    ),
+                    writes=tuple((_TABLE, item) for item in state.writes),
+                    cc_writes=(),
+                    predicate_reads=(),
+                )
+            )
+    unfinished = [t for t in transactions.values() if not t.finished]
+    if unfinished:
+        raise AnalysisError(
+            "history leaves transactions unfinished: "
+            + ", ".join(f"T{t.txid}" for t in unfinished)
+        )
+    return committed
+
+
+def check_history_text(text: str) -> SerializabilityReport:
+    """Parse a textbook schedule and check its serializability."""
+    return check_history(parse_history(text))

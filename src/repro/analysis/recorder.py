@@ -1,0 +1,110 @@
+"""Execution recording for after-the-fact serializability checking.
+
+An :class:`ExecutionRecorder` subscribes to a
+:class:`~repro.engine.engine.Database` as an observer and keeps, for every
+*committed* transaction, the footprint the multi-version serialization
+graph needs: which version of each item was read, which items were
+written, and the begin/commit timestamps.  Aborted transactions cannot
+affect serializability of the committed history and are only counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.engine import Database
+from repro.engine.locks import RowId
+from repro.engine.transaction import (
+    OWN_WRITE,
+    PredicateRead,
+    Transaction,
+    TxnStatus,
+)
+
+
+@dataclass(frozen=True)
+class CommittedTransaction:
+    """Immutable footprint of one committed transaction."""
+
+    txid: int
+    label: str
+    start_ts: int
+    snapshot_ts: int
+    commit_ts: int
+    reads: tuple[tuple[RowId, int], ...]
+    """(item, commit_ts of the version read); own-write reads excluded."""
+    writes: tuple[RowId, ...]
+    cc_writes: tuple[RowId, ...]
+    predicate_reads: tuple[PredicateRead, ...]
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+    def read_version(self, row: RowId) -> Optional[int]:
+        for item, version_ts in self.reads:
+            if item == row:
+                return version_ts
+        return None
+
+
+class ExecutionRecorder:
+    """Collects committed-transaction footprints from a live database."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._committed: list[CommittedTransaction] = []
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, db: Database) -> "ExecutionRecorder":
+        db.add_observer(self.observe)
+        return self
+
+    def observe(self, txn: Transaction) -> None:
+        """Database observer callback (fires on commit and abort)."""
+        if txn.status is TxnStatus.ABORTED:
+            with self._lock:
+                self.aborted_count += 1
+            return
+        if txn.status is not TxnStatus.COMMITTED or txn.commit_ts is None:
+            return
+        record = CommittedTransaction(
+            txid=txn.txid,
+            label=txn.label,
+            start_ts=txn.start_ts,
+            snapshot_ts=txn.snapshot_ts,
+            commit_ts=txn.commit_ts,
+            reads=tuple(
+                (row, version_ts)
+                for row, version_ts in sorted(txn.reads.items(), key=repr)
+                if version_ts != OWN_WRITE
+            ),
+            writes=tuple(txn.write_order),
+            cc_writes=tuple(sorted(txn.cc_writes, key=repr)),
+            predicate_reads=tuple(txn.predicate_reads),
+        )
+        with self._lock:
+            self._committed.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> tuple[CommittedTransaction, ...]:
+        with self._lock:
+            return tuple(self._committed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._committed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._committed.clear()
+            self.aborted_count = 0
+
+
+def record_database(db: Database) -> ExecutionRecorder:
+    """Convenience: create a recorder and attach it to ``db``."""
+    return ExecutionRecorder().attach(db)

@@ -1,0 +1,5 @@
+"""Application mixes beyond SmallBank, modelled for SDG analysis."""
+
+from repro.apps.tpcc import tpcc_specs
+
+__all__ = ["tpcc_specs"]

@@ -1,0 +1,52 @@
+"""The experiment harness: one spec per paper table/figure.
+
+Programmatic use::
+
+    from repro.bench import get_figure, run_figure
+
+    result = run_figure(get_figure("fig5"), repetitions=2)
+    print(result.render())
+    assert result.all_claims_hold
+
+CLI: ``python -m repro.bench list``.
+"""
+
+from repro.bench.figures import (
+    FIG4,
+    FIG5,
+    FIG6,
+    FIG7,
+    FIG8,
+    FIG9,
+    FIGURES,
+    Claim,
+    FigureResult,
+    FigureSpec,
+    get_figure,
+    run_figure,
+)
+from repro.bench.static import (
+    TABLE1_STRATEGIES,
+    render_sdg_figures,
+    render_strategy_summary,
+    render_table1,
+)
+
+__all__ = [
+    "Claim",
+    "FIG4",
+    "FIG5",
+    "FIG6",
+    "FIG7",
+    "FIG8",
+    "FIG9",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "TABLE1_STRATEGIES",
+    "get_figure",
+    "render_sdg_figures",
+    "render_strategy_summary",
+    "render_table1",
+    "run_figure",
+]

@@ -1,0 +1,120 @@
+"""Command-line experiment harness.
+
+Regenerate any table or figure of the paper::
+
+    python -m repro.bench list
+    python -m repro.bench table1
+    python -m repro.bench sdg
+    python -m repro.bench fig4
+    python -m repro.bench fig5 --reps 5 --measure 4
+    python -m repro.bench fig8 --paper-scale      # full 18000/1000, 30+60s
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES, get_figure, run_figure
+from repro.bench.static import (
+    render_sdg_figures,
+    render_strategy_summary,
+    render_table1,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description=(
+            "Reproduce the tables and figures of 'The Cost of "
+            "Serializability on Platforms That Use Snapshot Isolation' "
+            "(ICDE 2008)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: list, all, table1, sdg, summary, "
+        + ", ".join(sorted(FIGURES)),
+    )
+    parser.add_argument(
+        "--reps", type=int, default=2,
+        help="repetitions per data point (paper: 5)",
+    )
+    parser.add_argument(
+        "--measure", type=float, default=2.0,
+        help="measurement window in simulated seconds (paper: 60)",
+    )
+    parser.add_argument(
+        "--ramp-up", type=float, default=0.3,
+        help="ramp-up in simulated seconds (paper: 30)",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="full 18000-customer population and 30s+60s windows",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    parser.add_argument(
+        "--csv", metavar="PREFIX", default=None,
+        help="also write <PREFIX>_<figure>.csv per figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("static : table1, sdg, summary")
+        for key in sorted(FIGURES):
+            print(f"{key:>7}: {FIGURES[key].title}")
+        return 0
+    if args.experiment == "table1":
+        print(render_table1())
+        return 0
+    if args.experiment == "sdg":
+        print(render_sdg_figures())
+        return 0
+    if args.experiment == "summary":
+        print(render_strategy_summary())
+        return 0
+
+    keys = sorted(FIGURES) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        print(render_table1())
+        print()
+        print(render_sdg_figures())
+        print()
+
+    failed = False
+    for key in keys:
+        try:
+            spec = get_figure(key)
+        except KeyError as exc:
+            parser.error(str(exc))
+        started = time.time()
+        progress = None if args.quiet else (
+            lambda line: print(f"  ... {line}", file=sys.stderr)
+        )
+        result = run_figure(
+            spec,
+            repetitions=args.reps,
+            measure=args.measure,
+            ramp_up=args.ramp_up,
+            paper_scale=args.paper_scale,
+            progress=progress,
+        )
+        print(result.render())
+        print(f"({time.time() - started:.1f}s)")
+        print()
+        if args.csv is not None:
+            path = f"{args.csv}_{key}.csv"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(result.to_csv() + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+        failed = failed or not result.all_claims_hold
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

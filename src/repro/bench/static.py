@@ -1,0 +1,85 @@
+"""The static artifacts of the paper: Table I and the SDG figures 1-3.
+
+Everything here is *derived* from the strategy transforms — these are the
+renderers that print them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.core import build_sdg
+from repro.smallbank.programs import PROGRAM_NAMES, SHORT_NAMES, smallbank_specs
+from repro.smallbank.schema import CHECKING, CONFLICT, SAVING
+from repro.smallbank.strategies import ALL_STRATEGIES, get_strategy
+
+_TABLE_ABBREV = {SAVING: "Sav", CHECKING: "Check", CONFLICT: "Conf"}
+
+#: Row order of the paper's Table I.
+TABLE1_STRATEGIES = (
+    "materialize-wt",
+    "promote-wt-upd",
+    "materialize-bw",
+    "promote-bw-upd",
+    "materialize-all",
+    "promote-all",
+)
+
+
+def render_table1(strategy_keys: tuple[str, ...] = TABLE1_STRATEGIES) -> str:
+    """Table I: overview of tables updated with each option."""
+    lines = [
+        "== Table I: Overview of tables updated with each option ==",
+        f"{'Option/TX':>16} " + " ".join(
+            f"{SHORT_NAMES[p]:>12}" for p in PROGRAM_NAMES
+        ),
+    ]
+    for key in strategy_keys:
+        strategy = get_strategy(key)
+        row = strategy.table_one_row()
+        cells = []
+        for program in PROGRAM_NAMES:
+            tables = row.get(program, ())
+            cells.append(
+                "+".join(_TABLE_ABBREV[t] for t in tables) if tables else "-"
+            )
+        lines.append(
+            f"{strategy.label:>16} " + " ".join(f"{c:>12}" for c in cells)
+        )
+    return "\n".join(lines)
+
+
+def render_sdg_figures(*, sfu_is_write: bool = True) -> str:
+    """Figures 1, 2 and 3: the SDGs before and after each option."""
+    sections = [
+        "== Figure 1: SDG for the SmallBank benchmark ==",
+        build_sdg(smallbank_specs()).describe(),
+    ]
+    for key, figure in (
+        ("materialize-wt", "Figure 2 (Option WT, materialized)"),
+        ("promote-wt-upd", "Figure 2 (Option WT, promoted)"),
+        ("materialize-bw", "Figure 3(a): MaterializeBW"),
+        ("promote-bw-upd", "Figure 3(b): PromoteBW-upd"),
+    ):
+        strategy = get_strategy(key)
+        sections.append("")
+        sections.append(f"== {figure} ==")
+        sections.append(
+            build_sdg(strategy.specs(), sfu_is_write=sfu_is_write).describe()
+        )
+    return "\n".join(sections)
+
+
+def render_strategy_summary() -> str:
+    """One line per strategy: guarantees and modification counts."""
+    lines = ["== Strategy summary =="]
+    for strategy in ALL_STRATEGIES:
+        if strategy.is_baseline:
+            guarantee = "NOT serializable (baseline)"
+        else:
+            postgres = "yes" if strategy.serializable_on_postgres else "NO"
+            commercial = "yes" if strategy.serializable_on_commercial else "NO"
+            guarantee = f"serializable: postgres={postgres} commercial={commercial}"
+        lines.append(
+            f"  {strategy.label:>16}: {len(strategy.modifications()):d} "
+            f"modifications; {guarantee}"
+        )
+    return "\n".join(lines)

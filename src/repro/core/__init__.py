@@ -1,0 +1,101 @@
+"""The paper's core contribution layer: SDG theory and program fixes.
+
+Typical workflow (this is what ``examples/custom_app_audit.py`` shows)::
+
+    from repro.core import ProgramSet, build_sdg, minimal_fix, read, write
+    from repro.core.specs import ProgramSpec
+
+    mix = ProgramSet([
+        ProgramSpec("Report", ("x",), (read("T", "x", "v"),)),
+        ProgramSpec("Change", ("x",), (read("T", "x", "v"), write("U", "x", "v"))),
+        ...
+    ])
+    sdg = build_sdg(mix)
+    if not sdg.is_si_serializable():
+        plan = minimal_fix(mix, method="promote-upd")
+        print(plan.describe())
+"""
+
+from repro.core.advisor import (
+    Prediction,
+    ProgramProfile,
+    Recommendation,
+    predict,
+    profile_smallbank_strategy,
+    recommend,
+    suggest_edges,
+)
+from repro.core.conflicts import (
+    ConflictItem,
+    EdgeAnalysis,
+    Scenario,
+    ScenarioConflicts,
+    analyze_edge,
+    enumerate_scenarios,
+)
+from repro.core.edge_selection import FixPlan, greedy_fix, minimal_fix
+from repro.core.modify import (
+    CONFLICT_TABLE,
+    CONFLICT_VALUE_COLUMN,
+    Modification,
+    materialize_all,
+    materialize_edge,
+    promote_all,
+    promote_edge,
+    tables_updated_by,
+)
+from repro.core.sdg import (
+    DangerousStructure,
+    StaticDependencyGraph,
+    build_sdg,
+)
+from repro.core.specs import (
+    Access,
+    AccessKind,
+    ProgramSet,
+    ProgramSpec,
+    cc_write,
+    read,
+    read_const,
+    write,
+    write_const,
+)
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "CONFLICT_TABLE",
+    "CONFLICT_VALUE_COLUMN",
+    "ConflictItem",
+    "DangerousStructure",
+    "EdgeAnalysis",
+    "FixPlan",
+    "Modification",
+    "Prediction",
+    "ProgramProfile",
+    "ProgramSet",
+    "ProgramSpec",
+    "Recommendation",
+    "Scenario",
+    "ScenarioConflicts",
+    "StaticDependencyGraph",
+    "analyze_edge",
+    "build_sdg",
+    "cc_write",
+    "enumerate_scenarios",
+    "greedy_fix",
+    "materialize_all",
+    "materialize_edge",
+    "minimal_fix",
+    "predict",
+    "profile_smallbank_strategy",
+    "promote_all",
+    "promote_edge",
+    "read",
+    "recommend",
+    "suggest_edges",
+    "read_const",
+    "tables_updated_by",
+    "write",
+    "write_const",
+]

@@ -1,0 +1,284 @@
+"""Pairwise conflict and vulnerability analysis between program specs.
+
+Given two programs P and Q, the analysis enumerates every *scenario* — a
+way for Q's row parameters to coincide with P's (injective, because
+parameters within one program instance bind distinct rows) — and computes
+the conflicts between a transaction T from P and a transaction U from Q
+under that identification:
+
+* ``rw`` — T reads an item U writes (an anti-dependency, T before U);
+* ``ww`` — both write an item;
+* ``wr`` — T writes an item U reads.
+
+The **vulnerable edge** rule of Fekete et al. (TODS 2005), quoted in
+Section II-A of the paper: the edge P → Q is vulnerable when in some
+scenario T and U *can execute concurrently* with a read-write conflict.
+Under SI two concurrent transactions that share a written item cannot both
+commit, so a scenario whose rw conflict comes with a ww conflict on *some*
+item is protected; a scenario with rw and no ww is vulnerable.
+
+``SELECT FOR UPDATE`` accesses (:attr:`AccessKind.CC_WRITE`) count as
+writes only under commercial semantics — pass ``sfu_is_write=False`` to
+analyze for PostgreSQL, where SFU leaves the interleaving
+``read-sfu(T,x) commit(T) write(U,x)`` possible and the edge stays
+vulnerable (paper Section II-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.specs import Access, AccessKind, ProgramSpec
+
+ItemKey = tuple[str, str]
+"""Resolved symbolic key: ('p', param) / ('q', param) / ('const', name)."""
+
+Item = tuple[str, ItemKey]
+"""A symbolic item: (table, resolved key)."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One identification of Q's parameters with P's.
+
+    ``identifications`` maps Q-parameters to P-parameters; Q-parameters not
+    mentioned bind rows distinct from all of P's.
+    """
+
+    identifications: tuple[tuple[str, str], ...]
+
+    def maps(self, q_param: str) -> Optional[str]:
+        for q, p in self.identifications:
+            if q == q_param:
+                return p
+        return None
+
+    def describe(self) -> str:
+        if not self.identifications:
+            return "disjoint rows"
+        return ", ".join(f"{q} = {p}" for q, p in self.identifications)
+
+
+@dataclass(frozen=True)
+class ConflictItem:
+    """One conflicting item in one scenario.
+
+    ``p_key`` / ``q_key`` are the parameter names through which P and Q
+    reach the item (``None`` when the item is a shared constant row).  The
+    strategy transforms use them to decide which parameter keys the
+    materialized ``Conflict`` row and which item to promote.
+    """
+
+    table: str
+    p_key: Optional[str]
+    q_key: Optional[str]
+    const: Optional[str] = None
+
+    def describe(self) -> str:
+        key = self.p_key if self.p_key is not None else f"#{self.const}"
+        return f"{self.table}[{key}]"
+
+
+@dataclass(frozen=True)
+class ScenarioConflicts:
+    """Conflicts between P-instance T and Q-instance U in one scenario."""
+
+    scenario: Scenario
+    rw: tuple[ConflictItem, ...]
+    ww: tuple[ConflictItem, ...]
+    wr: tuple[ConflictItem, ...]
+
+    @property
+    def has_conflict(self) -> bool:
+        return bool(self.rw or self.ww or self.wr)
+
+    @property
+    def vulnerable(self) -> bool:
+        """rw conflict possible between concurrent transactions."""
+        return bool(self.rw) and not self.ww
+
+
+@dataclass(frozen=True)
+class EdgeAnalysis:
+    """Full analysis of the directed edge P → Q."""
+
+    source: str
+    target: str
+    scenarios: tuple[ScenarioConflicts, ...]
+
+    @property
+    def exists(self) -> bool:
+        return any(s.has_conflict for s in self.scenarios)
+
+    @property
+    def vulnerable(self) -> bool:
+        return any(s.vulnerable for s in self.scenarios)
+
+    @property
+    def vulnerable_scenarios(self) -> tuple[ScenarioConflicts, ...]:
+        return tuple(s for s in self.scenarios if s.vulnerable)
+
+    @property
+    def conflict_kinds(self) -> frozenset[str]:
+        kinds: set[str] = set()
+        for s in self.scenarios:
+            if s.rw:
+                kinds.add("rw")
+            if s.ww:
+                kinds.add("ww")
+            if s.wr:
+                kinds.add("wr")
+        return frozenset(kinds)
+
+    def vulnerable_items(self) -> tuple[ConflictItem, ...]:
+        """Distinct rw items across vulnerable scenarios (for promotion)."""
+        seen: list[ConflictItem] = []
+        for s in self.vulnerable_scenarios:
+            for item in s.rw:
+                if item not in seen:
+                    seen.append(item)
+        return tuple(seen)
+
+
+def enumerate_scenarios(p: ProgramSpec, q: ProgramSpec) -> Iterator[Scenario]:
+    """All injective partial maps from Q's parameters into P's."""
+    q_params = q.params
+    p_params = p.params
+    for size in range(min(len(q_params), len(p_params)) + 1):
+        for chosen_q in itertools.combinations(q_params, size):
+            for chosen_p in itertools.permutations(p_params, size):
+                yield Scenario(tuple(zip(chosen_q, chosen_p)))
+
+
+def _resolve(access: Access, side: str, scenario: Scenario) -> Item:
+    """The symbolic item an access touches, under a scenario.
+
+    ``side`` is ``"p"`` or ``"q"``.  A Q access through a parameter that
+    the scenario identifies with a P parameter resolves to the P item.
+    """
+    if access.key_const is not None:
+        return (access.table, ("const", access.key_const))
+    if side == "p":
+        return (access.table, ("p", access.key_param))
+    mapped = scenario.maps(access.key_param)
+    if mapped is not None:
+        return (access.table, ("p", mapped))
+    return (access.table, ("q", access.key_param))
+
+
+@dataclass(frozen=True)
+class _ItemAccess:
+    """Merged access info for one symbolic item on one side."""
+
+    representative: Access
+    columns: Optional[frozenset[str]]
+    """Union of accessed columns; ``None`` once any access names no
+    columns (treated as touching the whole row)."""
+
+
+def _merge(
+    into: dict[Item, _ItemAccess], item: Item, access: Access
+) -> None:
+    current = into.get(item)
+    columns: Optional[frozenset[str]]
+    columns = access.columns if access.columns else None
+    if current is None:
+        into[item] = _ItemAccess(access, columns)
+        return
+    if current.columns is None or columns is None:
+        merged: Optional[frozenset[str]] = None
+    else:
+        merged = current.columns | columns
+    into[item] = _ItemAccess(current.representative, merged)
+
+
+def _footprint(
+    program: ProgramSpec, side: str, scenario: Scenario, *, sfu_is_write: bool
+) -> tuple[dict[Item, _ItemAccess], dict[Item, _ItemAccess]]:
+    """(reads, writes) item maps for one side under one scenario."""
+    reads: dict[Item, _ItemAccess] = {}
+    writes: dict[Item, _ItemAccess] = {}
+    for access in program.accesses:
+        item = _resolve(access, side, scenario)
+        counts_as_write = access.kind is AccessKind.WRITE or (
+            access.kind is AccessKind.CC_WRITE and sfu_is_write
+        )
+        _merge(writes if counts_as_write else reads, item, access)
+    return reads, writes
+
+
+def _columns_overlap(
+    a: Optional[frozenset[str]], b: Optional[frozenset[str]]
+) -> bool:
+    """Whole-row accesses (None) overlap everything."""
+    if a is None or b is None:
+        return True
+    return bool(a & b)
+
+
+def _conflict_item(
+    item: Item, p_access: _ItemAccess, q_access: _ItemAccess
+) -> ConflictItem:
+    table, (kind, name) = item
+    if kind == "const":
+        return ConflictItem(table, p_key=None, q_key=None, const=name)
+    # kind == "p": reached via p's key_param on P's side and (if the
+    # q access is parameterized) via q's key_param on Q's side.
+    return ConflictItem(
+        table,
+        p_key=p_access.representative.key_param,
+        q_key=q_access.representative.key_param,
+    )
+
+
+def analyze_edge(
+    p: ProgramSpec,
+    q: ProgramSpec,
+    *,
+    sfu_is_write: bool = True,
+    column_granularity: bool = False,
+) -> EdgeAnalysis:
+    """Analyze the directed edge P → Q over every scenario.
+
+    ``column_granularity`` refines rw/wr conflict detection to require the
+    read and written *column* sets to intersect (accesses declaring no
+    columns touch the whole row).  This is the dataflow granularity the
+    TODS-2005 TPC-C proof needs — e.g. NewOrder reads a customer's
+    discount while Payment writes the same customer's balance: same row,
+    no logical anti-dependency.  Write-write conflicts stay row-level
+    regardless, because SI engines version whole rows, so two writers of
+    disjoint columns of one row still cannot both commit concurrently —
+    the protection side of the vulnerability rule keeps its strength.
+    """
+    results: list[ScenarioConflicts] = []
+    for scenario in enumerate_scenarios(p, q):
+        p_reads, p_writes = _footprint(p, "p", scenario, sfu_is_write=sfu_is_write)
+        q_reads, q_writes = _footprint(q, "q", scenario, sfu_is_write=sfu_is_write)
+
+        def data_conflict(
+            a: dict[Item, _ItemAccess], b: dict[Item, _ItemAccess], item: Item
+        ) -> bool:
+            if not column_granularity:
+                return True
+            return _columns_overlap(a[item].columns, b[item].columns)
+
+        rw = tuple(
+            _conflict_item(item, p_reads[item], q_writes[item])
+            for item in sorted(p_reads.keys() & q_writes.keys())
+            if data_conflict(p_reads, q_writes, item)
+        )
+        ww = tuple(
+            _conflict_item(item, p_writes[item], q_writes[item])
+            for item in sorted(p_writes.keys() & q_writes.keys())
+        )
+        wr = tuple(
+            _conflict_item(item, p_writes[item], q_reads[item])
+            for item in sorted(p_writes.keys() & q_reads.keys())
+            if data_conflict(p_writes, q_reads, item)
+        )
+        conflicts = ScenarioConflicts(scenario, rw=rw, ww=ww, wr=wr)
+        if conflicts.has_conflict:
+            results.append(conflicts)
+    return EdgeAnalysis(p.name, q.name, tuple(results))

@@ -1,0 +1,166 @@
+"""Choosing which vulnerable edges to fix.
+
+The paper (Section II-A, citing Jorwekar et al., VLDB 2007): "choosing a
+minimal set of appropriate edges is NP-hard".  This module provides
+
+* :func:`minimal_fix` — exact minimum by exhaustive subset search (fine for
+  application mixes of realistic size, where the number of vulnerable
+  edges involved in dangerous structures is small), and
+* :func:`greedy_fix` — the classic set-cover-style heuristic for larger
+  graphs: repeatedly fix the edge that participates in the most remaining
+  dangerous structures.
+
+Both re-run the full SDG analysis after applying the candidate fixes, so
+side effects of a fix (materialization introduces new conflicts; promotion
+turns readers into writers) are accounted for rather than assumed away.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.core.modify import (
+    Modification,
+    PromoteVia,
+    materialize_edge,
+    promote_edge,
+)
+from repro.core.sdg import StaticDependencyGraph
+from repro.core.specs import ProgramSet
+from repro.errors import SpecError
+
+Edge = tuple[str, str]
+Method = Literal["materialize", "promote-upd", "promote-sfu"]
+
+
+@dataclass(frozen=True)
+class FixPlan:
+    """A chosen set of edges plus the resulting (serializable) mix."""
+
+    method: Method
+    edges: tuple[Edge, ...]
+    programs: ProgramSet
+    modifications: tuple[Modification, ...]
+
+    def describe(self) -> str:
+        edges = ", ".join(f"{s}->{t}" for s, t in self.edges) or "<none>"
+        return f"{self.method} on {edges} ({len(self.modifications)} changes)"
+
+
+def _apply(
+    programs: ProgramSet, edge: Edge, method: Method, *, sfu_is_write: bool
+) -> tuple[ProgramSet, list[Modification]]:
+    source, target = edge
+    if method == "materialize":
+        return materialize_edge(
+            programs, source, target, sfu_is_write=sfu_is_write
+        )
+    via: PromoteVia = "update" if method == "promote-upd" else "sfu"
+    return promote_edge(
+        programs, source, target, via=via, sfu_is_write=sfu_is_write
+    )
+
+
+def _candidate_edges(sdg: StaticDependencyGraph) -> tuple[Edge, ...]:
+    """Vulnerable edges that participate in some dangerous structure."""
+    involved: set[Edge] = set()
+    for structure in sdg.dangerous_structures():
+        involved.add((structure.source, structure.pivot))
+        involved.add((structure.pivot, structure.sink))
+    return tuple(sorted(involved))
+
+
+def _try_subset(
+    programs: ProgramSet,
+    subset: tuple[Edge, ...],
+    method: Method,
+    *,
+    sfu_is_write: bool,
+) -> Optional[FixPlan]:
+    updated = programs
+    modifications: list[Modification] = []
+    for edge in subset:
+        try:
+            updated, mods = _apply(
+                updated, edge, method, sfu_is_write=sfu_is_write
+            )
+        except SpecError:
+            return None  # edge no longer vulnerable / not promotable
+        modifications.extend(mods)
+    result = StaticDependencyGraph(updated, sfu_is_write=sfu_is_write)
+    if result.is_si_serializable():
+        return FixPlan(method, subset, updated, tuple(modifications))
+    return None
+
+
+def minimal_fix(
+    programs: ProgramSet,
+    method: Method = "materialize",
+    *,
+    sfu_is_write: bool = True,
+    max_edges: int = 6,
+) -> FixPlan:
+    """Exact minimum-cardinality edge set whose fixing removes every
+    dangerous structure (exhaustive search, smallest subsets first).
+
+    Raises :class:`SpecError` when no subset of at most ``max_edges``
+    candidate edges works.
+    """
+    sdg = StaticDependencyGraph(programs, sfu_is_write=sfu_is_write)
+    if sdg.is_si_serializable():
+        return FixPlan(method, (), programs, ())
+    candidates = _candidate_edges(sdg)
+    for size in range(1, min(len(candidates), max_edges) + 1):
+        for subset in itertools.combinations(candidates, size):
+            plan = _try_subset(
+                programs, subset, method, sfu_is_write=sfu_is_write
+            )
+            if plan is not None:
+                return plan
+    raise SpecError(
+        f"no fix of up to {max_edges} edges removes every dangerous "
+        f"structure with method {method!r}"
+    )
+
+
+def greedy_fix(
+    programs: ProgramSet,
+    method: Method = "materialize",
+    *,
+    sfu_is_write: bool = True,
+    max_rounds: int = 32,
+) -> FixPlan:
+    """Heuristic: repeatedly fix the edge covering the most dangerous
+    structures until none remain.  Not guaranteed minimal."""
+    updated = programs
+    chosen: list[Edge] = []
+    modifications: list[Modification] = []
+    for _ in range(max_rounds):
+        sdg = StaticDependencyGraph(updated, sfu_is_write=sfu_is_write)
+        structures = sdg.dangerous_structures()
+        if not structures:
+            return FixPlan(
+                method, tuple(chosen), updated, tuple(modifications)
+            )
+        coverage: dict[Edge, int] = {}
+        for structure in structures:
+            for edge in (
+                (structure.source, structure.pivot),
+                (structure.pivot, structure.sink),
+            ):
+                coverage[edge] = coverage.get(edge, 0) + 1
+        # Highest coverage, ties broken lexicographically for determinism.
+        best = max(sorted(coverage), key=lambda e: coverage[e])
+        try:
+            updated, mods = _apply(
+                updated, best, method, sfu_is_write=sfu_is_write
+            )
+        except SpecError:
+            raise SpecError(
+                f"greedy fix stuck: cannot apply {method!r} to {best}"
+            ) from None
+        chosen.append(best)
+        modifications.extend(mods)
+    raise SpecError("greedy fix did not converge")

@@ -1,0 +1,195 @@
+"""The Static Dependency Graph: construction and dangerous structures.
+
+The main theorem of Fekete et al. (TODS 2005), as used by the paper:
+
+    If the SDG of an application mix has no *dangerous structure* — two
+    vulnerable edges in a row, as part of a cycle — then every execution
+    of the mix on an SI platform is serializable.
+
+A :class:`StaticDependencyGraph` is built from a
+:class:`~repro.core.specs.ProgramSet` by analyzing every ordered pair of
+programs (self-edges included: two instances of the same program conflict
+too).  :meth:`dangerous_structures` returns every pivot triple
+``P -(v)-> Q -(v)-> R`` that lies on a cycle; :meth:`is_si_serializable`
+is the theorem check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.core.conflicts import EdgeAnalysis, analyze_edge
+from repro.core.specs import ProgramSet, ProgramSpec
+
+
+@dataclass(frozen=True)
+class DangerousStructure:
+    """Two consecutive vulnerable edges on a cycle; ``pivot`` is the middle.
+
+    ``source`` and ``sink`` may name the same program (a two-node cycle
+    with both edges vulnerable is dangerous).
+    """
+
+    source: str
+    pivot: str
+    sink: str
+
+    def __str__(self) -> str:
+        return f"{self.source} -(v)-> {self.pivot} -(v)-> {self.sink}"
+
+
+class StaticDependencyGraph:
+    """The SDG of one program mix."""
+
+    def __init__(
+        self,
+        programs: ProgramSet,
+        *,
+        sfu_is_write: bool = True,
+        column_granularity: bool = False,
+    ) -> None:
+        self.programs = programs
+        self.sfu_is_write = sfu_is_write
+        self.column_granularity = column_granularity
+        self._edges: dict[tuple[str, str], EdgeAnalysis] = {}
+        names = programs.names
+        for source in names:
+            for target in names:
+                analysis = analyze_edge(
+                    programs[source],
+                    programs[target],
+                    sfu_is_write=sfu_is_write,
+                    column_granularity=column_granularity,
+                )
+                if analysis.exists:
+                    self._edges[(source, target)] = analysis
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.programs.names
+
+    def edge(self, source: str, target: str) -> Optional[EdgeAnalysis]:
+        return self._edges.get((source, target))
+
+    def edges(self) -> Iterator[EdgeAnalysis]:
+        return iter(self._edges.values())
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self._edges
+
+    def is_vulnerable(self, source: str, target: str) -> bool:
+        analysis = self._edges.get((source, target))
+        return analysis is not None and analysis.vulnerable
+
+    def vulnerable_edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(
+            key for key, analysis in sorted(self._edges.items())
+            if analysis.vulnerable
+        )
+
+    def successors(self, node: str) -> tuple[str, ...]:
+        return tuple(
+            target for (source, target) in sorted(self._edges) if source == node
+        )
+
+    # ------------------------------------------------------------------
+    # Dangerous structures / the main theorem
+    # ------------------------------------------------------------------
+    def _reaches(self, start: str, goal: str) -> bool:
+        """Directed reachability over all edges (self-loops count)."""
+        if start == goal:
+            return True
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.successors(node))
+        return False
+
+    def dangerous_structures(self) -> tuple[DangerousStructure, ...]:
+        """Every pivot triple of two consecutive vulnerable edges on a cycle.
+
+        The cycle condition: after following ``source -> pivot -> sink``,
+        the remaining edges of the cycle bring us from ``sink`` back to
+        ``source`` (trivially satisfied when ``sink == source``).
+        """
+        found: list[DangerousStructure] = []
+        for (source, pivot) in self.vulnerable_edges():
+            for (pivot2, sink) in self.vulnerable_edges():
+                if pivot2 != pivot:
+                    continue
+                if self._reaches(sink, source):
+                    found.append(DangerousStructure(source, pivot, sink))
+        return tuple(found)
+
+    def pivots(self) -> tuple[str, ...]:
+        """Programs that sit in the middle of a dangerous structure."""
+        return tuple(sorted({d.pivot for d in self.dangerous_structures()}))
+
+    def is_si_serializable(self) -> bool:
+        """The TODS 2005 theorem: no dangerous structure => serializable."""
+        return not self.dangerous_structures()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable summary (the textual Figure 1/2/3)."""
+        lines = [f"SDG for {self.programs.name!r}"]
+        for program in self.programs:
+            marker = "update" if program.is_update_program else "read-only"
+            lines.append(f"  node {program.name} [{marker}]")
+        for (source, target), analysis in sorted(self._edges.items()):
+            style = "vulnerable" if analysis.vulnerable else "protected"
+            kinds = ",".join(sorted(analysis.conflict_kinds))
+            lines.append(f"  {source} -> {target} [{style}; {kinds}]")
+        structures = self.dangerous_structures()
+        if structures:
+            lines.append("  DANGEROUS STRUCTURES:")
+            lines.extend(f"    {s}" for s in structures)
+        else:
+            lines.append("  no dangerous structure: SI executions are serializable")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: dashed edges are vulnerable, shaded nodes
+        are update programs — the conventions of the paper's figures."""
+        lines = [
+            "digraph SDG {",
+            "  rankdir=LR;",
+            '  node [shape=ellipse, style=filled, fillcolor=white];',
+        ]
+        for program in self.programs:
+            fill = "lightgrey" if program.is_update_program else "white"
+            lines.append(f'  "{program.name}" [fillcolor={fill}];')
+        for (source, target), analysis in sorted(self._edges.items()):
+            style = "dashed" if analysis.vulnerable else "solid"
+            lines.append(f'  "{source}" -> "{target}" [style={style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_sdg(
+    programs: "ProgramSet | Iterable[ProgramSpec]",
+    *,
+    sfu_is_write: bool = True,
+    column_granularity: bool = False,
+    name: str = "mix",
+) -> StaticDependencyGraph:
+    """Convenience constructor accepting a bare iterable of specs."""
+    if not isinstance(programs, ProgramSet):
+        programs = ProgramSet(programs, name=name)
+    return StaticDependencyGraph(
+        programs,
+        sfu_is_write=sfu_is_write,
+        column_granularity=column_granularity,
+    )

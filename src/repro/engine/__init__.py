@@ -1,0 +1,71 @@
+"""The MVCC engine substrate: storage, locks, transactions, sessions.
+
+Quick tour::
+
+    from repro.engine import Database, EngineConfig, Session, TableSchema, Column
+
+    schema = TableSchema(
+        name="Checking",
+        columns=(Column("CustomerId", "int"), Column("Balance", "numeric")),
+        primary_key="CustomerId",
+    )
+    db = Database([schema], EngineConfig.postgres())
+    db.load_row("Checking", {"CustomerId": 1, "Balance": 100})
+
+    session = Session(db)
+    session.begin("deposit")
+    session.update("Checking", 1, lambda row: {"Balance": row["Balance"] + 10})
+    session.commit()
+"""
+
+from repro.engine.clock import LogicalClock
+from repro.engine.config import (
+    EngineConfig,
+    IsolationLevel,
+    SfuSemantics,
+    WriteConflictPolicy,
+)
+from repro.engine.engine import Database, Row, WaitOn
+from repro.engine.locks import LockManager, LockMode, RowId
+from repro.engine.session import (
+    NoWaitWaiter,
+    Session,
+    ThreadedWaiter,
+    Waiter,
+    WouldBlock,
+)
+from repro.engine.storage import Catalog, Column, Table, TableSchema
+from repro.engine.transaction import OWN_WRITE, Transaction, TxnStatus
+from repro.engine.versions import UncommittedVersion, Version, VersionChain
+from repro.engine.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "EngineConfig",
+    "IsolationLevel",
+    "LockManager",
+    "LockMode",
+    "LogicalClock",
+    "NoWaitWaiter",
+    "OWN_WRITE",
+    "Row",
+    "RowId",
+    "Session",
+    "SfuSemantics",
+    "Table",
+    "TableSchema",
+    "ThreadedWaiter",
+    "Transaction",
+    "TxnStatus",
+    "UncommittedVersion",
+    "Version",
+    "VersionChain",
+    "WaitOn",
+    "Waiter",
+    "WalRecord",
+    "WouldBlock",
+    "WriteAheadLog",
+    "WriteConflictPolicy",
+]

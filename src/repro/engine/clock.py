@@ -1,0 +1,39 @@
+"""Logical timestamps for the MVCC engine.
+
+Snapshot Isolation reasoning only needs a total order over "events of
+interest" (transaction starts and commits).  A monotonically increasing
+integer counter provides that order; wall-clock time never enters the
+engine, which keeps executions deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class LogicalClock:
+    """Thread-safe monotonic counter used for start and commit timestamps.
+
+    Timestamps start at 1 so that 0 can serve as a "before everything"
+    sentinel (the timestamp of bootstrap data loaded outside any
+    transaction).
+    """
+
+    BOOTSTRAP_TS = 0
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self._last = 0
+
+    def next(self) -> int:
+        """Return the next timestamp (strictly greater than all before)."""
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently issued timestamp (0 if none issued yet)."""
+        return self._last

@@ -1,0 +1,610 @@
+"""The MVCC database engine.
+
+:class:`Database` is deliberately **non-blocking**: every operation that a
+real engine would block on returns a :class:`WaitOn` value naming the
+transactions that must resolve first.  The session layer
+(:mod:`repro.engine.session`) turns that into an actual wait — a real
+thread wait, a simulated-time wait, or a value surfaced to a test that is
+stepping transactions by hand.  This single design choice lets the same
+engine power correctness tests, exhaustive interleaving exploration and the
+performance simulator.
+
+Concurrency-control semantics implemented here (see
+:mod:`repro.engine.config` for how they are selected):
+
+* **SI reads** never block and never lock: they see the newest version
+  committed at or before the transaction's snapshot (plus own writes).
+* **SI writes** take the row's exclusive lock.  Under *first-updater-wins*
+  the writer aborts immediately when the newest committed version (or a
+  commercial-style SFU mark) is newer than its snapshot; a writer that was
+  blocked re-checks after waking, so a holder's commit kills the waiter —
+  exactly PostgreSQL's behaviour.  Under *first-committer-wins* the check
+  moves to commit time.
+* **SELECT FOR UPDATE** takes the exclusive lock and performs the snapshot
+  check; in ``CC_WRITE`` mode (the commercial platform) it additionally
+  publishes a concurrency-control write at commit so that later concurrent
+  writers fail, making the promoted edge non-vulnerable.
+* **S2PL** takes shared locks for reads and exclusive locks for writes,
+  all held to the end of the transaction; there is no snapshot.
+* **SSI** layers the runtime dangerous-structure certifier over SI.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping, Optional
+
+from repro.engine.clock import LogicalClock
+from repro.engine.config import (
+    EngineConfig,
+    IsolationLevel,
+    SfuSemantics,
+    WriteConflictPolicy,
+)
+from repro.engine.locks import LockManager, LockMode, RowId
+from repro.engine.ssi import SsiCertifier
+from repro.engine.storage import Catalog, Table, TableSchema
+from repro.engine.transaction import OWN_WRITE, Transaction, TxnStatus
+from repro.engine.versions import UncommittedVersion, Version, freeze_row
+from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.errors import (
+    IntegrityError,
+    SerializationFailure,
+    SsiAbort,
+    TransactionStateError,
+)
+
+Row = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class WaitOn:
+    """Returned when an operation must wait for other transactions.
+
+    ``blockers`` is non-empty and contains only transactions that were
+    active at the time of the call.  The caller should wait for *any* of
+    them to resolve and then retry the operation.
+    """
+
+    blockers: frozenset[Transaction]
+
+    def __post_init__(self) -> None:
+        if not self.blockers:
+            raise ValueError("WaitOn requires at least one blocker")
+
+    @property
+    def blocker_ids(self) -> frozenset[int]:
+        return frozenset(t.txid for t in self.blockers)
+
+
+class Database:
+    """An in-memory multi-version database engine.
+
+    Parameters
+    ----------
+    schemas:
+        Table schemas making up the database.
+    config:
+        Concurrency-control behaviour (default: PostgreSQL-style SI).
+    observers:
+        Optional callables invoked as ``observer(txn)`` after every commit
+        and abort — the hook used by the dynamic-analysis recorder.
+    """
+
+    def __init__(
+        self,
+        schemas: Iterable[TableSchema],
+        config: Optional[EngineConfig] = None,
+        observers: Optional[
+            list[Callable[[Transaction], None]]
+        ] = None,
+    ) -> None:
+        self.config = config or EngineConfig.postgres()
+        self.catalog = Catalog(list(schemas))
+        self.clock = LogicalClock()
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self._mutex = threading.RLock()
+        self._active: dict[int, Transaction] = {}
+        self._observers = list(observers or [])
+        self._ssi = SsiCertifier() if self.config.isolation is IsolationLevel.SSI else None
+        self._txid_counter = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap loading (outside any transaction)
+    # ------------------------------------------------------------------
+    def load_row(self, table_name: str, row: Row) -> None:
+        """Install a row as pre-existing data (commit timestamp 0).
+
+        Only valid before any transaction has committed to the same key.
+        Used by benchmark population so that loading cost never pollutes
+        measurements.
+        """
+        with self._mutex:
+            table = self.catalog.table(table_name)
+            value = table.schema.validate_row(row)
+            key = value[table.schema.primary_key]
+            chain = table.chain_or_create(key)
+            if len(chain) > 0:
+                raise IntegrityError(
+                    f"row {key!r} already exists in {table_name!r}"
+                )
+            version = Version(
+                commit_ts=LogicalClock.BOOTSTRAP_TS, txid=0, value=freeze_row(value)
+            )
+            chain.append_committed(version)
+            table.index_committed_version(key, version)
+
+    def add_observer(self, observer: Callable[[Transaction], None]) -> None:
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "") -> Transaction:
+        with self._mutex:
+            self._txid_counter += 1
+            txn = Transaction(
+                self._txid_counter, self.clock.next(), label=label
+            )
+            self._active[txn.txid] = txn
+            if self._ssi is not None:
+                self._ssi.on_begin(txn)
+            return txn
+
+    @property
+    def active_transactions(self) -> tuple[Transaction, ...]:
+        with self._mutex:
+            return tuple(self._active.values())
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(
+        self, txn: Transaction, table_name: str, key: Hashable
+    ) -> "Row | None | WaitOn":
+        """Read one row by primary key.
+
+        Under SI this never blocks.  Under S2PL it may return
+        :class:`WaitOn` when the shared lock conflicts with a writer.
+        """
+        with self._mutex:
+            txn.ensure_active()
+            self._check_doomed(txn)
+            table = self.catalog.table(table_name)
+            row_id: RowId = (table_name, key)
+            if self.config.isolation is IsolationLevel.S2PL:
+                blockers = self.locks.try_acquire(
+                    txn.txid, row_id, LockMode.SHARED
+                )
+                if blockers:
+                    return self._wait_on(blockers)
+                return self._read_latest(txn, table, row_id)
+            return self._read_snapshot(txn, table, row_id)
+
+    def lookup_unique(
+        self, txn: Transaction, table_name: str, column: str, value: Hashable
+    ) -> "tuple[Hashable, Row] | None | WaitOn":
+        """Find the row whose unique ``column`` equals ``value``.
+
+        Records a predicate read (the lookup's result set may be changed by
+        concurrent inserts/deletes — a phantom source).  Under S2PL the
+        matched row is share-locked.
+        """
+        with self._mutex:
+            txn.ensure_active()
+            self._check_doomed(txn)
+            table = self.catalog.table(table_name)
+            snapshot = self._read_horizon(txn)
+            found = table.lookup_unique(column, value, snapshot)
+            txn.record_predicate(
+                table_name,
+                f"{column} = {value!r}",
+                (found[0],) if found else (),
+            )
+            if found is None:
+                return None
+            key, _ = found
+            result = self.read(txn, table_name, key)
+            if isinstance(result, WaitOn) or result is None:
+                return result
+            return key, result
+
+    def scan(
+        self,
+        txn: Transaction,
+        table_name: str,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        description: str = "<scan>",
+    ) -> "list[tuple[Hashable, Row]] | WaitOn":
+        """Predicate scan over visible rows.
+
+        Under S2PL every matched row is share-locked (predicate locking
+        itself is not modelled; the workloads here never insert during a
+        measurement run, which the analysis layer checks).
+        """
+        with self._mutex:
+            txn.ensure_active()
+            self._check_doomed(txn)
+            table = self.catalog.table(table_name)
+            snapshot = self._read_horizon(txn)
+            keys = set(table.keys())
+            keys.update(k for tn, k in txn.writes if tn == table_name)
+            matches: list[tuple[Hashable, Row]] = []
+            for key in sorted(keys, key=repr):
+                row_id = (table_name, key)
+                if row_id in txn.writes:
+                    merged = txn.writes[row_id]
+                else:
+                    merged = table.visible_row(key, snapshot)
+                if merged is None:
+                    continue
+                if predicate is not None and not predicate(merged):
+                    continue
+                matches.append((key, merged))
+            if self.config.isolation is IsolationLevel.S2PL:
+                blockers: set[Transaction] = set()
+                for key, _ in matches:
+                    conflict = self.locks.try_acquire(
+                        txn.txid, (table_name, key), LockMode.SHARED
+                    )
+                    for txid in conflict:
+                        blocker = self._active.get(txid)
+                        if blocker is not None:
+                            blockers.add(blocker)
+                if blockers:
+                    return WaitOn(frozenset(blockers))
+            txn.record_predicate(
+                table_name, description, tuple(key for key, _ in matches)
+            )
+            for key, _ in matches:
+                self._record_item_read(txn, table, (table_name, key))
+            return matches
+
+    def select_for_update(
+        self, txn: Transaction, table_name: str, key: Hashable
+    ) -> "Row | None | WaitOn":
+        """``SELECT ... FOR UPDATE`` with platform-dependent semantics.
+
+        Both flavours take the exclusive row lock and fail (first-updater
+        style) when the snapshot no longer reflects the newest committed
+        state.  In ``CC_WRITE`` mode the row is additionally added to the
+        transaction's concurrency-control write set.
+        """
+        with self._mutex:
+            txn.ensure_active()
+            self._check_doomed(txn)
+            table = self.catalog.table(table_name)
+            row_id: RowId = (table_name, key)
+            blockers = self.locks.try_acquire(
+                txn.txid, row_id, LockMode.EXCLUSIVE
+            )
+            if blockers:
+                return self._wait_on(blockers)
+            if self.config.isolation is not IsolationLevel.S2PL:
+                self._check_write_conflict(txn, table, key, row_id)
+            txn.sfu_rows.add(row_id)
+            if self.config.sfu is SfuSemantics.CC_WRITE:
+                txn.cc_writes.add(row_id)
+            if self.config.isolation is IsolationLevel.S2PL:
+                return self._read_latest(txn, table, row_id)
+            return self._read_snapshot(txn, table, row_id)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        txn: Transaction,
+        table_name: str,
+        key: Hashable,
+        value: Optional[Row],
+    ) -> "None | WaitOn":
+        """Stage a full-row write (``value=None`` deletes).
+
+        Returns ``WaitOn`` when blocked behind another writer; raises
+        :class:`SerializationFailure` on a first-updater-wins conflict.
+        The value becomes visible to other transactions only at commit.
+        """
+        with self._mutex:
+            txn.ensure_active()
+            self._check_doomed(txn)
+            table = self.catalog.table(table_name)
+            if value is not None:
+                value = table.schema.validate_row(value)
+                if value[table.schema.primary_key] != key:
+                    raise IntegrityError(
+                        f"row primary key {value[table.schema.primary_key]!r} "
+                        f"does not match write target {key!r}"
+                    )
+            row_id: RowId = (table_name, key)
+            blockers = self.locks.try_acquire(
+                txn.txid, row_id, LockMode.EXCLUSIVE
+            )
+            if blockers:
+                return self._wait_on(blockers)
+            if self.config.isolation is not IsolationLevel.S2PL:
+                if self.config.write_conflict is WriteConflictPolicy.FIRST_UPDATER_WINS:
+                    self._check_write_conflict(txn, table, key, row_id)
+            chain = table.chain_or_create(key)
+            frozen = freeze_row(value)
+            chain.uncommitted = UncommittedVersion(txn.txid, frozen)
+            txn.record_write(row_id, frozen)
+            if self._ssi is not None:
+                self._ssi.on_write(txn, row_id)
+                self._check_doomed(txn)
+            return None
+
+    def insert(
+        self, txn: Transaction, table_name: str, value: Row
+    ) -> "None | WaitOn":
+        """Insert a new row; duplicate (visible) keys raise IntegrityError."""
+        with self._mutex:
+            txn.ensure_active()
+            table = self.catalog.table(table_name)
+            value = table.schema.validate_row(value)
+            key = value[table.schema.primary_key]
+            row_id: RowId = (table_name, key)
+            existing = self._apply_own_write(
+                txn, row_id, table.visible_row(key, self._read_horizon(txn))
+            )
+            if existing is not None:
+                raise IntegrityError(
+                    f"duplicate primary key {key!r} in {table_name!r}"
+                )
+            return self.write(txn, table_name, key, value)
+
+    def delete(
+        self, txn: Transaction, table_name: str, key: Hashable
+    ) -> "None | WaitOn":
+        return self.write(txn, table_name, key, None)
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> None:
+        """Commit ``txn``: validate, publish versions, release locks.
+
+        Raises :class:`SerializationFailure` (after aborting the
+        transaction) when first-committer-wins validation or the SSI
+        certifier rejects it.
+        """
+        callbacks: list[Callable[[Transaction], None]]
+        with self._mutex:
+            txn.ensure_active()
+            if self._ssi is not None and self._ssi.is_doomed(txn):
+                self._abort_locked(txn)
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
+                raise SsiAbort(
+                    f"txn {txn.txid} ({txn.label}) is an SSI pivot"
+                )
+            if self.config.write_conflict is WriteConflictPolicy.FIRST_COMMITTER_WINS:
+                conflict = self._first_committer_conflict(txn)
+                if conflict is not None:
+                    self._abort_locked(txn)
+                    callbacks = txn.drain_callbacks()
+                    self._fire(callbacks, txn)
+                    raise SerializationFailure(conflict)
+            commit_ts = self.clock.next()
+            txn.commit_ts = commit_ts
+            for row_id in txn.write_order:
+                table_name, key = row_id
+                table = self.catalog.table(table_name)
+                value = txn.writes[row_id]
+                table.check_unique_on_commit(key, value, commit_ts)
+                chain = table.chain_or_create(key)
+                version = Version(commit_ts=commit_ts, txid=txn.txid, value=value)
+                chain.append_committed(version)
+                if chain.uncommitted is not None and chain.uncommitted.txid == txn.txid:
+                    chain.uncommitted = None
+                table.index_committed_version(key, version)
+            for table_name, key in txn.cc_writes:
+                table = self.catalog.table(table_name)
+                table.cc_write_ts[key] = commit_ts
+            if txn.writes:
+                self.wal.append(
+                    WalRecord(
+                        commit_ts=commit_ts,
+                        txid=txn.txid,
+                        label=txn.label,
+                        rows=tuple(txn.write_order),
+                    )
+                )
+            txn.status = TxnStatus.COMMITTED
+            self._active.pop(txn.txid, None)
+            self.locks.release_all(txn.txid)
+            if self._ssi is not None:
+                self._ssi.on_resolve(txn, self._active.values())
+            callbacks = txn.drain_callbacks()
+        self._fire(callbacks, txn)
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort ``txn``: drop uncommitted versions, release locks."""
+        with self._mutex:
+            if txn.status is not TxnStatus.ACTIVE:
+                return
+            self._abort_locked(txn)
+            callbacks = txn.drain_callbacks()
+        self._fire(callbacks, txn)
+
+    def _abort_locked(self, txn: Transaction) -> None:
+        for row_id in txn.write_order:
+            table_name, key = row_id
+            chain = self.catalog.table(table_name).chain(key)
+            if (
+                chain is not None
+                and chain.uncommitted is not None
+                and chain.uncommitted.txid == txn.txid
+            ):
+                chain.uncommitted = None
+        txn.status = TxnStatus.ABORTED
+        self._active.pop(txn.txid, None)
+        self.locks.release_all(txn.txid)
+        if self._ssi is not None:
+            self._ssi.on_resolve(txn, self._active.values())
+
+    # ------------------------------------------------------------------
+    # Waiting support (used by sessions)
+    # ------------------------------------------------------------------
+    def begin_wait(self, txn: Transaction, wait: WaitOn) -> None:
+        """Register a wait; raises DeadlockError if it would close a cycle.
+
+        On a deadlock the transaction is aborted before the error
+        propagates, matching server behaviour.
+        """
+        with self._mutex:
+            try:
+                self.locks.begin_wait(txn.txid, wait.blocker_ids)
+            except Exception:
+                self._abort_locked(txn)
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
+                raise
+
+    def end_wait(self, txn: Transaction) -> None:
+        with self._mutex:
+            self.locks.end_wait(txn.txid)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _read_horizon(self, txn: Transaction) -> int:
+        """Timestamp bound for reads: snapshot under SI, 'now' under S2PL."""
+        if self.config.isolation is IsolationLevel.S2PL:
+            return self.clock.last + 1
+        return txn.snapshot_ts
+
+    def _read_snapshot(
+        self, txn: Transaction, table: Table, row_id: RowId
+    ) -> Optional[Row]:
+        table_name, key = row_id
+        if row_id in txn.writes:
+            txn.record_read(row_id, OWN_WRITE)
+            return txn.writes[row_id]
+        chain = table.chain(key)
+        version = chain.visible(txn.snapshot_ts) if chain is not None else None
+        if version is None:
+            self._record_read(txn, row_id, 0, table)
+            return None
+        self._record_read(txn, row_id, version.commit_ts, table)
+        return None if version.is_tombstone else version.value
+
+    def _read_latest(
+        self, txn: Transaction, table: Table, row_id: RowId
+    ) -> Optional[Row]:
+        """S2PL read: newest committed version (locks exclude writers)."""
+        table_name, key = row_id
+        if row_id in txn.writes:
+            txn.record_read(row_id, OWN_WRITE)
+            return txn.writes[row_id]
+        chain = table.chain(key)
+        version = chain.latest() if chain is not None else None
+        if version is None:
+            txn.record_read(row_id, 0)
+            return None
+        txn.record_read(row_id, version.commit_ts)
+        return None if version.is_tombstone else version.value
+
+    def _record_read(
+        self, txn: Transaction, row_id: RowId, version_ts: int, table: Table
+    ) -> None:
+        txn.record_read(row_id, version_ts)
+        if self._ssi is not None:
+            self._ssi.on_read(txn, row_id, self)
+
+    def _record_item_read(
+        self, txn: Transaction, table: Table, row_id: RowId
+    ) -> None:
+        if row_id in txn.writes:
+            txn.record_read(row_id, OWN_WRITE)
+            return
+        chain = table.chain(row_id[1])
+        version = (
+            chain.visible(self._read_horizon(txn)) if chain is not None else None
+        )
+        self._record_read(txn, row_id, version.commit_ts if version else 0, table)
+
+    def _apply_own_write(
+        self, txn: Transaction, row_id: RowId, committed: Optional[Row]
+    ) -> Optional[Row]:
+        if row_id in txn.writes:
+            return txn.writes[row_id]
+        return committed
+
+    def _check_write_conflict(
+        self, txn: Transaction, table: Table, key: Hashable, row_id: RowId
+    ) -> None:
+        """First-updater-wins snapshot check (also used for SFU).
+
+        Called with the exclusive lock already granted, so the newest
+        committed version is stable.  A version (or commercial SFU mark)
+        newer than our snapshot means a concurrent transaction already won.
+        """
+        chain = table.chain(key)
+        newest = chain.latest_commit_ts() if chain is not None else 0
+        if newest > txn.snapshot_ts:
+            self._fail_serialization(
+                txn,
+                f"txn {txn.txid} ({txn.label}): row {row_id!r} was updated "
+                f"by a concurrent transaction (committed at {newest}, "
+                f"snapshot at {txn.snapshot_ts})",
+            )
+        cc_ts = table.latest_cc_write_ts(key)
+        if cc_ts > txn.snapshot_ts:
+            self._fail_serialization(
+                txn,
+                f"txn {txn.txid} ({txn.label}): row {row_id!r} was "
+                f"SELECT-FOR-UPDATE locked by a concurrent transaction "
+                f"(committed at {cc_ts}, snapshot at {txn.snapshot_ts})",
+            )
+
+    def _fail_serialization(self, txn: Transaction, message: str) -> None:
+        self._abort_locked(txn)
+        callbacks = txn.drain_callbacks()
+        self._fire(callbacks, txn)
+        raise SerializationFailure(message)
+
+    def _first_committer_conflict(self, txn: Transaction) -> Optional[str]:
+        for row_id in txn.write_order:
+            table_name, key = row_id
+            table = self.catalog.table(table_name)
+            chain = table.chain(key)
+            newest = chain.latest_commit_ts() if chain is not None else 0
+            if newest > txn.snapshot_ts:
+                return (
+                    f"txn {txn.txid} ({txn.label}): first-committer-wins "
+                    f"validation failed on {row_id!r}"
+                )
+            if table.latest_cc_write_ts(key) > txn.snapshot_ts:
+                return (
+                    f"txn {txn.txid} ({txn.label}): first-committer-wins "
+                    f"validation failed on SFU-marked {row_id!r}"
+                )
+        return None
+
+    def _check_doomed(self, txn: Transaction) -> None:
+        if self._ssi is not None and self._ssi.is_doomed(txn):
+            self._abort_locked(txn)
+            callbacks = txn.drain_callbacks()
+            self._fire(callbacks, txn)
+            raise SsiAbort(f"txn {txn.txid} ({txn.label}) is an SSI pivot")
+
+    def _wait_on(self, blocker_ids: frozenset[int]) -> WaitOn:
+        blockers = frozenset(
+            self._active[txid] for txid in blocker_ids if txid in self._active
+        )
+        if not blockers:
+            # All blockers resolved between detection and now (possible only
+            # through re-entrant use); tell the caller to simply retry.
+            raise TransactionStateError("lock blockers vanished; retry")
+        return WaitOn(blockers)
+
+    def _fire(
+        self, callbacks: list[Callable[[Transaction], None]], txn: Transaction
+    ) -> None:
+        for observer in self._observers:
+            observer(txn)
+        for callback in callbacks:
+            callback(txn)

@@ -1,0 +1,163 @@
+"""Row-level lock manager with a waits-for graph for deadlock detection.
+
+Snapshot Isolation only ever takes **exclusive** row locks (for writes and
+``SELECT ... FOR UPDATE``); reads never lock.  The strict two-phase-locking
+mode additionally takes **shared** read locks.  Locks are held until the
+owning transaction resolves (commits or aborts) — the engine releases them
+via :meth:`LockManager.release_all`.
+
+The manager itself never blocks.  ``try_acquire`` either grants the lock or
+returns the set of conflicting holder transaction ids; the *session* layer
+decides how to wait (real thread wait, simulated-time wait, or surfacing the
+block to a test that is manually stepping transactions).  Before waiting,
+sessions must register the dependency through :meth:`begin_wait`, which
+performs deadlock detection on the waits-for graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from repro.errors import DeadlockError
+
+RowId = tuple[str, Hashable]
+"""A lockable resource: ``(table_name, primary_key)``."""
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _LockEntry:
+    """Current holders of one row lock."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+
+    def conflicts_with(self, txid: int, mode: LockMode) -> frozenset[int]:
+        """Ids of holders (other than ``txid``) incompatible with ``mode``."""
+        blockers = {
+            holder
+            for holder, held in self.holders.items()
+            if holder != txid and not _compatible(held, mode)
+        }
+        return frozenset(blockers)
+
+
+class LockManager:
+    """Tracks row locks and the waits-for graph.
+
+    The caller (the :class:`~repro.engine.engine.Database`) serializes access
+    with its own mutex, so this class needs no internal locking.
+    """
+
+    def __init__(self) -> None:
+        self._locks: dict[RowId, _LockEntry] = {}
+        self._held_by_txn: dict[int, set[RowId]] = {}
+        # txid -> ids of transactions it currently waits for.
+        self._waits_for: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Acquisition / release
+    # ------------------------------------------------------------------
+    def try_acquire(self, txid: int, row: RowId, mode: LockMode) -> frozenset[int]:
+        """Attempt to lock ``row`` in ``mode`` for ``txid``.
+
+        Returns an empty frozenset when the lock was granted (or upgraded),
+        otherwise the non-empty frozenset of blocking transaction ids.
+        Lock upgrade (shared -> exclusive) is supported and subject to the
+        same conflict rules against *other* holders.
+        """
+        entry = self._locks.get(row)
+        if entry is None:
+            entry = _LockEntry()
+            self._locks[row] = entry
+        blockers = entry.conflicts_with(txid, mode)
+        if blockers:
+            return blockers
+        current = entry.holders.get(txid)
+        if current is None or (
+            current is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+        ):
+            entry.holders[txid] = mode
+        self._held_by_txn.setdefault(txid, set()).add(row)
+        return frozenset()
+
+    def holds(self, txid: int, row: RowId, mode: Optional[LockMode] = None) -> bool:
+        entry = self._locks.get(row)
+        if entry is None or txid not in entry.holders:
+            return False
+        return mode is None or entry.holders[txid] is mode
+
+    def holders(self, row: RowId) -> dict[int, LockMode]:
+        entry = self._locks.get(row)
+        return dict(entry.holders) if entry else {}
+
+    def rows_held_by(self, txid: int) -> frozenset[RowId]:
+        return frozenset(self._held_by_txn.get(txid, ()))
+
+    def release_all(self, txid: int) -> list[RowId]:
+        """Release every lock held by ``txid``; returns the freed rows."""
+        rows = self._held_by_txn.pop(txid, set())
+        for row in rows:
+            entry = self._locks.get(row)
+            if entry is None:
+                continue
+            entry.holders.pop(txid, None)
+            if not entry.holders:
+                del self._locks[row]
+        self._waits_for.pop(txid, None)
+        return sorted(rows, key=repr)
+
+    # ------------------------------------------------------------------
+    # Waits-for graph / deadlock detection
+    # ------------------------------------------------------------------
+    def begin_wait(self, txid: int, blockers: Iterable[int]) -> None:
+        """Register that ``txid`` is about to wait for ``blockers``.
+
+        Raises :class:`DeadlockError` (without registering the wait) if the
+        new edges would close a cycle in the waits-for graph.  The policy is
+        "requester dies": the transaction that *would* create the cycle is
+        the victim, which matches how PostgreSQL reports the deadlock to one
+        of the participants.
+        """
+        blocker_set = frozenset(blockers)
+        if txid in blocker_set:
+            raise ValueError("a transaction cannot wait for itself")
+        for blocker in blocker_set:
+            if self._reaches(blocker, txid):
+                raise DeadlockError(
+                    f"deadlock detected: txn {txid} waiting for {blocker} "
+                    f"which (transitively) waits for txn {txid}"
+                )
+        self._waits_for[txid] = blocker_set
+
+    def end_wait(self, txid: int) -> None:
+        """Remove ``txid``'s outgoing waits-for edges (it woke up)."""
+        self._waits_for.pop(txid, None)
+
+    def waiting_for(self, txid: int) -> frozenset[int]:
+        return self._waits_for.get(txid, frozenset())
+
+    def _reaches(self, source: int, target: int) -> bool:
+        """True when ``source`` can reach ``target`` in the waits-for graph."""
+        if source == target:
+            return True
+        seen: set[int] = set()
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False

@@ -1,0 +1,221 @@
+"""Statement-level sessions over the non-blocking engine core.
+
+A :class:`Session` wraps one transaction and exposes the operations that
+the SmallBank programs (and the mini SQL executor) are written against:
+
+``select`` / ``select_for_update`` / ``lookup_unique`` / ``scan`` /
+``update`` / ``identity_update`` / ``insert`` / ``delete`` / ``commit`` /
+``rollback``.
+
+When the engine returns :class:`~repro.engine.engine.WaitOn`, the session
+registers the wait (deadlock detection happens there) and delegates the
+actual waiting to its :class:`Waiter` policy:
+
+* :class:`ThreadedWaiter` — block the calling OS thread until any blocker
+  resolves (used by the threaded correctness/stress driver);
+* the simulator provides its own waiter that suspends the simulated client
+  (:mod:`repro.sim.client`);
+* :class:`NoWaitWaiter` — raise :class:`WouldBlock` instead of waiting
+  (used by tests and the interleaving explorer to observe blocking).
+
+Two optional hooks make the session instrumentable without subclassing:
+
+* ``statement_hook(kind, txn)`` fires once per logical SQL statement (the
+  simulator charges CPU time there); ``kind`` distinguishes ordinary
+  statements from the strategy-introduced ones (``"materialize-update"``,
+  ``"identity-update"``, ``"select-for-update"``) because the platforms
+  price them differently;
+* ``pre_commit_hook(txn)`` fires before a commit that requires a WAL flush
+  (the simulator waits on the group-commit log disk there).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Mapping, Optional, TypeVar, Union
+
+from repro.engine.engine import Database, Row, WaitOn
+from repro.engine.transaction import Transaction
+from repro.errors import EngineError, TransactionStateError
+
+T = TypeVar("T")
+
+Changes = Union[Mapping[str, object], Callable[[Row], Mapping[str, object]]]
+
+
+class WouldBlock(EngineError):
+    """Raised by :class:`NoWaitWaiter` when an operation would block."""
+
+    def __init__(self, wait: WaitOn) -> None:
+        super().__init__(f"operation would block on {sorted(wait.blocker_ids)}")
+        self.wait = wait
+
+
+class Waiter:
+    """Strategy for waiting until any of a set of transactions resolves."""
+
+    def wait_any(self, wait: WaitOn) -> None:
+        raise NotImplementedError
+
+
+class ThreadedWaiter(Waiter):
+    """Block the calling OS thread on a :class:`threading.Event`."""
+
+    def wait_any(self, wait: WaitOn) -> None:
+        event = threading.Event()
+        for blocker in wait.blockers:
+            blocker.add_resolution_callback(lambda _txn: event.set())
+        event.wait()
+
+
+class NoWaitWaiter(Waiter):
+    """Never wait; surface the block to the caller as :class:`WouldBlock`."""
+
+    def wait_any(self, wait: WaitOn) -> None:
+        raise WouldBlock(wait)
+
+
+class Session:
+    """One client connection executing a single transaction at a time."""
+
+    def __init__(
+        self,
+        db: Database,
+        waiter: Optional[Waiter] = None,
+        statement_hook: Optional[Callable[[str, Transaction], None]] = None,
+        pre_commit_hook: Optional[Callable[[Transaction], None]] = None,
+    ) -> None:
+        self.db = db
+        self.waiter = waiter or ThreadedWaiter()
+        self.statement_hook = statement_hook
+        self.pre_commit_hook = pre_commit_hook
+        self.txn: Optional[Transaction] = None
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "") -> Transaction:
+        if self.txn is not None and self.txn.is_active:
+            raise TransactionStateError(
+                "session already has an active transaction"
+            )
+        self.txn = self.db.begin(label)
+        return self.txn
+
+    @property
+    def transaction(self) -> Transaction:
+        if self.txn is None:
+            raise TransactionStateError("no transaction; call begin() first")
+        return self.txn
+
+    def commit(self) -> None:
+        txn = self.transaction
+        if self.pre_commit_hook is not None and txn.needs_wal_flush:
+            self.pre_commit_hook(txn)
+        self.db.commit(txn)
+
+    def rollback(self) -> None:
+        if self.txn is not None:
+            self.db.abort(self.txn)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def select(
+        self, table: str, key: Hashable, *, kind: str = "select"
+    ) -> Optional[Row]:
+        """Read one row by primary key (snapshot read under SI)."""
+        self._charge(kind)
+        return self._run(lambda: self.db.read(self.transaction, table, key))
+
+    def select_for_update(
+        self, table: str, key: Hashable, *, kind: str = "select-for-update"
+    ) -> Optional[Row]:
+        self._charge(kind)
+        return self._run(
+            lambda: self.db.select_for_update(self.transaction, table, key)
+        )
+
+    def lookup_unique(
+        self, table: str, column: str, value: Hashable, *, kind: str = "select"
+    ) -> Optional[tuple[Hashable, Row]]:
+        """Index lookup by a unique column (e.g. Account.Name)."""
+        self._charge(kind)
+        return self._run(
+            lambda: self.db.lookup_unique(self.transaction, table, column, value)
+        )
+
+    def scan(
+        self,
+        table: str,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        description: str = "<scan>",
+        *,
+        kind: str = "scan",
+    ) -> list[tuple[Hashable, Row]]:
+        self._charge(kind)
+        return self._run(
+            lambda: self.db.scan(self.transaction, table, predicate, description)
+        )
+
+    def update(
+        self, table: str, key: Hashable, changes: Changes, *, kind: str = "update"
+    ) -> bool:
+        """``UPDATE table SET ... WHERE pk = key``.
+
+        ``changes`` is either a column mapping or a callable computing the
+        changed columns from the current row.  Returns False when the row
+        does not exist in the transaction's view (0 rows updated).
+        """
+        self._charge(kind)
+        txn = self.transaction
+        current = self._run(lambda: self.db.read(txn, table, key))
+        if current is None:
+            return False
+        new_values = changes(current) if callable(changes) else changes
+        merged = dict(current)
+        merged.update(new_values)
+        self._run(lambda: self.db.write(txn, table, key, merged))
+        return True
+
+    def identity_update(
+        self, table: str, key: Hashable, column: str, *, kind: str = "identity-update"
+    ) -> bool:
+        """The promotion idiom: ``UPDATE t SET col = col WHERE pk = key``.
+
+        Writes the row back unchanged — the value is identical but a new
+        version is created, so the access participates in write-write
+        conflict detection (and forces a WAL flush at commit).
+        """
+        return self.update(table, key, lambda row: {column: row[column]}, kind=kind)
+
+    def insert(self, table: str, row: Row, *, kind: str = "insert") -> None:
+        self._charge(kind)
+        self._run(lambda: self.db.insert(self.transaction, table, row))
+
+    def delete(self, table: str, key: Hashable, *, kind: str = "delete") -> None:
+        self._charge(kind)
+        self._run(lambda: self.db.delete(self.transaction, table, key))
+
+    # ------------------------------------------------------------------
+    # Wait / retry machinery
+    # ------------------------------------------------------------------
+    def _run(self, operation: Callable[[], "T | WaitOn"]) -> T:
+        """Run an engine operation, waiting and retrying while it blocks."""
+        while True:
+            result = operation()
+            if not isinstance(result, WaitOn):
+                return result
+            self._wait(result)
+
+    def _wait(self, wait: WaitOn) -> None:
+        txn = self.transaction
+        self.db.begin_wait(txn, wait)  # raises DeadlockError (txn aborted)
+        try:
+            self.waiter.wait_any(wait)
+        finally:
+            self.db.end_wait(txn)
+
+    def _charge(self, kind: str) -> None:
+        if self.statement_hook is not None:
+            self.statement_hook(kind, self.transaction)

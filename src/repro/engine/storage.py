@@ -1,0 +1,259 @@
+"""Relational storage: schemas, typed columns, tables of version chains.
+
+A :class:`Table` maps primary-key values to :class:`VersionChain` objects.
+Uniqueness of secondary columns (e.g. ``Account.CustomerId`` in SmallBank)
+is enforced at commit time and accelerated by a *superset index*: a map from
+column value to the set of primary keys that have **ever** carried that
+value.  Lookups fetch the candidates from the index and then apply snapshot
+visibility, which keeps the index itself version-free yet correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator, Mapping, Optional
+
+from repro.errors import IntegrityError, SchemaError
+from repro.engine.versions import Version, VersionChain
+
+_TYPE_CHECKS: dict[str, Callable[[object], bool]] = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "numeric": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "text": lambda v: isinstance(v, str),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column.  ``kind`` is one of ``int``, ``numeric``, ``text``."""
+
+    name: str
+    kind: str = "numeric"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TYPE_CHECKS:
+            raise SchemaError(f"unknown column type {self.kind!r}")
+
+    def check(self, value: object) -> None:
+        if value is None:
+            if not self.nullable:
+                raise IntegrityError(f"column {self.name!r} is NOT NULL")
+            return
+        if not _TYPE_CHECKS[self.kind](value):
+            raise IntegrityError(
+                f"column {self.name!r} expects {self.kind}, got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table.
+
+    Attributes
+    ----------
+    name:
+        Table name.
+    columns:
+        Ordered column definitions.  The primary-key column must be listed.
+    primary_key:
+        Name of the primary-key column (single-column keys, as in SmallBank).
+    unique:
+        Names of additional columns carrying a uniqueness constraint.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str
+    unique: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column in table {self.name!r}")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for col in self.unique:
+            if col not in names:
+                raise SchemaError(
+                    f"unique column {col!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, row: Mapping[str, object]) -> dict[str, object]:
+        """Type-check a full row and return a plain-dict copy."""
+        extra = set(row) - set(self.column_names)
+        if extra:
+            raise SchemaError(
+                f"unknown column(s) {sorted(extra)} for table {self.name!r}"
+            )
+        missing = set(self.column_names) - set(row)
+        if missing:
+            raise IntegrityError(
+                f"missing column(s) {sorted(missing)} for table {self.name!r}"
+            )
+        for col in self.columns:
+            col.check(row[col.name])
+        return dict(row)
+
+
+class Table:
+    """Version-chained rows of one table plus its superset indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: dict[Hashable, VersionChain] = {}
+        # Superset indexes: column -> value -> set of pks that ever had it.
+        self._indexes: dict[str, dict[Hashable, set[Hashable]]] = {
+            col: {} for col in schema.unique
+        }
+        # Commercial-platform SELECT FOR UPDATE bookkeeping: pk -> commit_ts
+        # of the last transaction that SFU-locked the row (treated like a
+        # write for conflict detection, though no version is created).
+        self.cc_write_ts: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # Chains
+    # ------------------------------------------------------------------
+    def chain(self, key: Hashable) -> Optional[VersionChain]:
+        return self.rows.get(key)
+
+    def chain_or_create(self, key: Hashable) -> VersionChain:
+        chain = self.rows.get(key)
+        if chain is None:
+            chain = VersionChain()
+            self.rows[key] = chain
+        return chain
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # Snapshot reads
+    # ------------------------------------------------------------------
+    def visible_row(
+        self, key: Hashable, snapshot_ts: int
+    ) -> Optional[Mapping[str, object]]:
+        """The row value visible at ``snapshot_ts`` (None when absent)."""
+        chain = self.rows.get(key)
+        if chain is None:
+            return None
+        version = chain.visible(snapshot_ts)
+        if version is None or version.is_tombstone:
+            return None
+        return version.value
+
+    def scan_visible(
+        self,
+        snapshot_ts: int,
+        predicate: Optional[Callable[[Mapping[str, object]], bool]] = None,
+    ) -> Iterator[tuple[Hashable, Mapping[str, object]]]:
+        """Yield ``(key, row)`` for rows visible at ``snapshot_ts``.
+
+        Keys are visited in sorted order so scans are deterministic.
+        """
+        for key in sorted(self.rows, key=repr):
+            row = self.visible_row(key, snapshot_ts)
+            if row is None:
+                continue
+            if predicate is None or predicate(row):
+                yield key, row
+
+    def lookup_unique(
+        self, column: str, value: Hashable, snapshot_ts: int
+    ) -> Optional[tuple[Hashable, Mapping[str, object]]]:
+        """Find the visible row whose unique ``column`` equals ``value``."""
+        if column == self.schema.primary_key:
+            row = self.visible_row(value, snapshot_ts)
+            return (value, row) if row is not None else None
+        if column not in self._indexes:
+            raise SchemaError(
+                f"column {column!r} of {self.schema.name!r} has no unique index"
+            )
+        for key in sorted(self._indexes[column].get(value, ()), key=repr):
+            row = self.visible_row(key, snapshot_ts)
+            if row is not None and row[column] == value:
+                return key, row
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit-time maintenance (called by the engine under its mutex)
+    # ------------------------------------------------------------------
+    def check_unique_on_commit(
+        self, key: Hashable, row: Optional[Mapping[str, object]], as_of_ts: int
+    ) -> None:
+        """Verify unique constraints for a row about to be committed.
+
+        ``as_of_ts`` is the committing transaction's snapshot-independent
+        view: uniqueness is checked against the *latest committed* state,
+        because two snapshots must not both install the same unique value.
+        """
+        if row is None:
+            return
+        for column in self.schema.unique:
+            value = row[column]
+            for other_key in self._indexes[column].get(value, ()):
+                if other_key == key:
+                    continue
+                other = self.visible_row(other_key, as_of_ts)
+                if other is not None and other[column] == value:
+                    raise IntegrityError(
+                        f"unique constraint on {self.schema.name}.{column} "
+                        f"violated by value {value!r}"
+                    )
+
+    def index_committed_version(self, key: Hashable, version: Version) -> None:
+        """Record a freshly committed version in the superset indexes."""
+        if version.value is None:
+            return
+        for column, index in self._indexes.items():
+            index.setdefault(version.value[column], set()).add(key)
+
+    def latest_cc_write_ts(self, key: Hashable) -> int:
+        """Commit ts of the last committed commercial SFU on ``key`` (0 if none)."""
+        return self.cc_write_ts.get(key, 0)
+
+
+class Catalog:
+    """The set of tables making up one database."""
+
+    def __init__(self, schemas: tuple[TableSchema, ...] | list[TableSchema]) -> None:
+        self._tables: dict[str, Table] = {}
+        for schema in schemas:
+            if schema.name in self._tables:
+                raise SchemaError(f"duplicate table {schema.name!r}")
+            self._tables[schema.name] = Table(schema)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def add_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"duplicate table {schema.name!r}")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())

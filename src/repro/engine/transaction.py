@@ -1,0 +1,185 @@
+"""Transaction objects: lifecycle, footprints, resolution callbacks.
+
+A :class:`Transaction` records everything the dynamic analysis layer needs
+to rebuild a multi-version serialization graph after the fact:
+
+* ``reads`` — for every item read, the commit timestamp of the version that
+  was observed (or ``OWN_WRITE`` when the transaction saw its own write);
+* ``writes`` — the staged new values (published at commit);
+* ``cc_writes`` — items locked via commercial-style ``SELECT FOR UPDATE``
+  (concurrency-control writes that create no version);
+* ``predicate_reads`` — predicate evaluations, for phantom-aware analysis.
+
+Waiters (sessions blocked on this transaction's row locks) subscribe via
+:meth:`add_resolution_callback`; the engine fires the callbacks once the
+transaction commits or aborts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Optional
+
+from repro.engine.locks import RowId
+from repro.errors import TransactionStateError
+
+OWN_WRITE = -1
+"""Sentinel 'version timestamp' recorded when a read observed an own write."""
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PredicateRead:
+    """A recorded predicate evaluation (for phantom analysis)."""
+
+    table: str
+    description: str
+    matched_keys: tuple[Hashable, ...]
+
+
+@dataclass
+class ReadRecord:
+    """One item read: which version (by commit ts) was observed."""
+
+    row: RowId
+    version_ts: int
+
+
+class Transaction:
+    """State of one transaction inside a :class:`~repro.engine.engine.Database`."""
+
+    def __init__(self, txid: int, start_ts: int, *, label: str = "") -> None:
+        self.txid = txid
+        self.start_ts = start_ts
+        #: Snapshot timestamp: this transaction sees versions committed at or
+        #: before this point.  Equal to ``start_ts`` under SI.
+        self.snapshot_ts = start_ts
+        self.commit_ts: Optional[int] = None
+        self.status = TxnStatus.ACTIVE
+        #: Optional program name (e.g. "WriteCheck"), used in statistics and
+        #: in the dynamic-analysis reports.
+        self.label = label
+
+        # Footprints -----------------------------------------------------
+        self.reads: dict[RowId, int] = {}
+        self.writes: dict[RowId, Optional[Mapping[str, object]]] = {}
+        self.write_order: list[RowId] = []
+        self.cc_writes: set[RowId] = set()
+        self.sfu_rows: set[RowId] = set()
+        self.predicate_reads: list[PredicateRead] = []
+
+        # SSI certifier flags (engine mode ``SSI``) ----------------------
+        self.in_conflict = False  # some concurrent txn has an rw edge INTO us
+        self.out_conflict = False  # we have an rw edge OUT to a concurrent txn
+
+        self._resolution_callbacks: list[Callable[["Transaction"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Footprint recording
+    # ------------------------------------------------------------------
+    def record_read(self, row: RowId, version_ts: int) -> None:
+        """Record that ``row`` was read at ``version_ts``.
+
+        Re-reads keep the first recorded version: under SI a transaction
+        always sees the same version, and an own-write read (``OWN_WRITE``)
+        must not mask the snapshot version that was read earlier.
+        """
+        if row not in self.reads:
+            self.reads[row] = version_ts
+
+    def record_write(
+        self, row: RowId, value: Optional[Mapping[str, object]]
+    ) -> None:
+        if row not in self.writes:
+            self.write_order.append(row)
+        self.writes[row] = value
+
+    def record_predicate(
+        self, table: str, description: str, matched: tuple[Hashable, ...]
+    ) -> None:
+        self.predicate_reads.append(PredicateRead(table, description, matched))
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the transaction staged no writes (SFU included).
+
+        Read-only transactions commit without a WAL flush — the effect at
+        the heart of the paper's Figure 5(b) analysis.
+        """
+        return not self.writes and not self.cc_writes
+
+    @property
+    def needs_wal_flush(self) -> bool:
+        """True when committing requires a log-disk write.
+
+        Commercial-style SFU locks are concurrency-control state only; they
+        generate no log record, which is why ``PromoteBW-sfu`` does not pay
+        the extra disk write that ``PromoteBW-upd`` does.
+        """
+        return bool(self.writes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self.status is TxnStatus.ACTIVE
+
+    @property
+    def is_committed(self) -> bool:
+        return self.status is TxnStatus.COMMITTED
+
+    def ensure_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txid} is {self.status.value}"
+            )
+
+    def concurrent_with(self, other: "Transaction") -> bool:
+        """True when the two transactions' lifetimes overlapped.
+
+        Two transactions are concurrent when neither committed before the
+        other started.  Uncommitted transactions extend to "now".
+        """
+        if self is other:
+            return False
+
+        def ended_before(a: "Transaction", b: "Transaction") -> bool:
+            return a.commit_ts is not None and a.commit_ts <= b.start_ts
+
+        return not ended_before(self, other) and not ended_before(other, self)
+
+    # ------------------------------------------------------------------
+    # Resolution callbacks
+    # ------------------------------------------------------------------
+    def add_resolution_callback(
+        self, callback: Callable[["Transaction"], None]
+    ) -> None:
+        """Invoke ``callback(self)`` when this transaction commits or aborts.
+
+        If the transaction is already resolved, the callback fires
+        immediately (so waiters never miss the wake-up).
+        """
+        if self.status is not TxnStatus.ACTIVE:
+            callback(self)
+        else:
+            self._resolution_callbacks.append(callback)
+
+    def drain_callbacks(self) -> list[Callable[["Transaction"], None]]:
+        """Detach and return the pending callbacks (engine commit/abort)."""
+        callbacks = self._resolution_callbacks
+        self._resolution_callbacks = []
+        return callbacks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(txid={self.txid}, label={self.label!r}, "
+            f"status={self.status.value}, start={self.start_ts}, "
+            f"commit={self.commit_ts})"
+        )

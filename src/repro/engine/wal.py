@@ -1,0 +1,57 @@
+"""Logical write-ahead log.
+
+The engine appends one :class:`WalRecord` per committing transaction *that
+wrote something*.  Read-only transactions (including transactions whose only
+"write" is a commercial-style ``SELECT FOR UPDATE`` lock) append nothing —
+the asymmetry that drives the paper's MPL-1 analysis: a strategy that turns
+the read-only Balance program into an updater makes every transaction pay a
+log-disk write.
+
+The performance simulator does not move bytes; it charges the *flush* to a
+group-commit disk resource (:class:`repro.sim.resources.GroupCommitLog`).
+This module keeps the logical record stream so tests can assert exactly
+which transactions would have forced a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.engine.locks import RowId
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One commit record."""
+
+    commit_ts: int
+    txid: int
+    label: str
+    rows: tuple[RowId, ...]
+
+
+class WriteAheadLog:
+    """Append-only list of commit records, ordered by commit timestamp."""
+
+    def __init__(self) -> None:
+        self._records: list[WalRecord] = []
+
+    def append(self, record: WalRecord) -> None:
+        if self._records and record.commit_ts <= self._records[-1].commit_ts:
+            raise ValueError("WAL records must have increasing commit timestamps")
+        self._records.append(record)
+
+    @property
+    def records(self) -> tuple[WalRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[WalRecord]:
+        return iter(self._records)
+
+    def records_for(self, label: str) -> tuple[WalRecord, ...]:
+        """All records written by transactions with the given label."""
+        return tuple(r for r in self._records if r.label == label)

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro engine and analysis layers.
+
+The hierarchy mirrors the error classes a real SI platform reports:
+
+* :class:`SerializationFailure` corresponds to PostgreSQL's
+  ``ERROR: could not serialize access due to concurrent update`` (SQLSTATE
+  40001) and the commercial platform's "can't serialize access" error.  The
+  workload driver counts these as *aborts* (Figure 6 of the paper).
+* :class:`DeadlockError` corresponds to a lock-manager detected deadlock
+  (SQLSTATE 40P01).  It is also counted as an abort, with a distinct reason.
+* :class:`ApplicationRollback` is raised by transaction programs themselves
+  (e.g. TransactSaving with an overdrawing amount); it is an intentional
+  rollback, not a concurrency abort.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the storage/transaction engine."""
+
+
+class TransactionAborted(EngineError):
+    """Base class for errors that force the enclosing transaction to abort.
+
+    Attributes
+    ----------
+    reason:
+        Short machine-readable reason tag used by the workload statistics
+        (``"serialization"``, ``"deadlock"``, ...).
+    """
+
+    reason = "aborted"
+
+
+class SerializationFailure(TransactionAborted):
+    """First-updater-wins / first-committer-wins conflict abort.
+
+    Raised when a transaction attempts to write (or, on the commercial
+    platform, ``SELECT ... FOR UPDATE``) a row whose most recent version is
+    newer than the transaction's snapshot, or when a blocked writer wakes up
+    to find that the lock holder committed a conflicting change.
+    """
+
+    reason = "serialization"
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager found a cycle in the waits-for graph."""
+
+    reason = "deadlock"
+
+
+class SsiAbort(SerializationFailure):
+    """Abort raised by the SSI certifier (engine mode ``SSI``).
+
+    A distinct subclass so experiments can distinguish certifier aborts from
+    plain write-write first-updater-wins aborts, while code that merely
+    retries can catch :class:`SerializationFailure`.
+    """
+
+    reason = "ssi"
+
+
+class ApplicationRollback(ReproError):
+    """A transaction program decided to roll back (business rule).
+
+    E.g. TransactSaving rolls back when the withdrawal would make the savings
+    balance negative.  This is *not* a concurrency anomaly.
+    """
+
+    reason = "rollback"
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or "application rollback")
+
+
+class IntegrityError(EngineError):
+    """A schema constraint (primary key / unique index / type) was violated."""
+
+
+class SchemaError(EngineError):
+    """Unknown table/column, or an operation inconsistent with the schema."""
+
+
+class TransactionStateError(EngineError):
+    """An operation was issued on a finished or never-started transaction."""
+
+
+class AnalysisError(ReproError):
+    """Base class for errors in the static/dynamic analysis layers."""
+
+
+class SpecError(AnalysisError):
+    """A :class:`~repro.core.specs.ProgramSpec` declaration is malformed."""
+
+
+class SqlError(ReproError):
+    """The mini SQL layer could not parse or execute a statement."""

@@ -1,0 +1,52 @@
+"""Deterministic discrete-event simulation of the paper's platforms.
+
+Reproduce one data point::
+
+    from repro.sim import SimulationConfig, run_replicated
+
+    result = run_replicated(SimulationConfig(strategy="base-si", mpl=20))
+    print(result.describe())
+"""
+
+from repro.sim.client import SimulatedClient, SimWaiter
+from repro.sim.core import SimDeadlock, SimEvent, SimStopped, Simulator
+from repro.sim.platform import (
+    PLATFORMS,
+    PlatformModel,
+    commercial_platform,
+    get_platform,
+    postgres_platform,
+)
+from repro.sim.resources import GroupCommitLog, Resource
+from repro.sim.runner import (
+    DEFAULT_CUSTOMERS,
+    DEFAULT_HOTSPOT,
+    PAPER_CUSTOMERS,
+    PAPER_HOTSPOT,
+    SimulationConfig,
+    run_once,
+    run_replicated,
+)
+
+__all__ = [
+    "DEFAULT_CUSTOMERS",
+    "DEFAULT_HOTSPOT",
+    "GroupCommitLog",
+    "PAPER_CUSTOMERS",
+    "PAPER_HOTSPOT",
+    "PLATFORMS",
+    "PlatformModel",
+    "Resource",
+    "SimDeadlock",
+    "SimEvent",
+    "SimStopped",
+    "SimWaiter",
+    "SimulatedClient",
+    "SimulationConfig",
+    "Simulator",
+    "commercial_platform",
+    "get_platform",
+    "postgres_platform",
+    "run_once",
+    "run_replicated",
+]

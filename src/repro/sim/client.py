@@ -1,0 +1,118 @@
+"""Simulated closed-system clients.
+
+Each client is one simulation process implementing the paper's driver
+loop: "each thread runs the selected transaction and waits for the reply,
+after which it immediately (with no think time) initiates another
+transaction".  Statements charge the platform's CPU; commits of writing
+transactions wait on the group-commit WAL disk; lock waits suspend in
+simulated time; serialization failures and deadlocks count as aborts and
+the client moves on to a fresh transaction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.engine import Database, WaitOn
+from repro.engine.session import Session, Waiter
+from repro.errors import ApplicationRollback, TransactionAborted
+from repro.sim.core import SimEvent, Simulator
+from repro.sim.platform import PlatformModel
+from repro.sim.resources import GroupCommitLog, Resource
+from repro.smallbank.transactions import SmallBankTransactions
+from repro.workload.mix import ParameterGenerator, TransactionMix
+from repro.workload.stats import RunStats
+
+
+class SimWaiter(Waiter):
+    """Suspend the simulated client until any blocker resolves."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def wait_any(self, wait: WaitOn) -> None:
+        event = SimEvent(self.sim)
+        for blocker in wait.blockers:
+            blocker.add_resolution_callback(lambda _txn: event.fire())
+        event.wait()
+
+
+class SimulatedClient:
+    """One closed-loop client thread of the paper's test driver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        db: Database,
+        platform: PlatformModel,
+        cpu: Resource,
+        wal: GroupCommitLog,
+        transactions: SmallBankTransactions,
+        mix: TransactionMix,
+        generator: ParameterGenerator,
+        stats: RunStats,
+        *,
+        mpl: int,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.db = db
+        self.platform = platform
+        self.cpu = cpu
+        self.wal = wal
+        self.transactions = transactions
+        self.mix = mix
+        self.generator = generator
+        self.stats = stats
+        self.mpl = mpl
+        self.rng = rng
+        self._cpu_multiplier = platform.cpu_multiplier(mpl)
+
+    # ------------------------------------------------------------------
+    def _charge_cpu(self, seconds: float) -> None:
+        if seconds > 0:
+            self.cpu.use(seconds * self._cpu_multiplier)
+
+    def _statement_hook(self, kind: str, _txn) -> None:
+        self._charge_cpu(self.platform.statement_cost(kind))
+
+    def _commit(self, session: Session) -> None:
+        txn = session.transaction
+        self._charge_cpu(self.platform.commit_cpu)
+        flush = self.platform.needs_flush(
+            wrote_data=txn.needs_wal_flush,
+            used_sfu=bool(txn.sfu_rows or txn.cc_writes),
+        )
+        if flush:
+            # Becoming a writer has a fixed price (undo/redo bookkeeping)
+            # and the WAL flush; both happen while row locks are held.
+            self._charge_cpu(self.platform.write_txn_overhead)
+            self.wal.commit_flush()
+        session.commit()
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Process body: loop until the simulation shuts down."""
+        while True:
+            self.sim.checkpoint()
+            program = self.mix.choose(self.rng)
+            args = self.generator.args_for(program)
+            started = self.sim.now
+            session = Session(
+                self.db,
+                waiter=SimWaiter(self.sim),
+                statement_hook=self._statement_hook,
+            )
+            self.sim.sleep(self.platform.network_rtt)
+            try:
+                session.begin(program)
+                self.transactions.body(program)(session, args)
+                self._commit(session)
+                self.stats.record_commit(
+                    program, self.sim.now - started, self.sim.now
+                )
+            except ApplicationRollback:
+                self.stats.record_rollback(program, self.sim.now)
+            except TransactionAborted as exc:
+                session.rollback()
+                self.stats.record_abort(program, exc.reason, self.sim.now)

@@ -1,0 +1,161 @@
+"""Hardware/platform cost models for the simulation.
+
+Every constant here is a *calibration* of the paper's testbed (Section IV:
+3.0 GHz Pentium IV, 2 GB RAM, two IDE disks with the log-disk cache
+disabled, Fast Ethernet, stored procedures over JDBC) chosen so that the
+mechanisms the paper itself identifies reproduce its curves:
+
+* a single-server CPU whose saturation sets the throughput plateau;
+* a group-commit WAL disk that only *update* transactions must wait for —
+  the source of the MPL-1 gap between WT options (flush fraction stays
+  4/5) and BW options (5/5, hence the ~20 % penalty, Section IV-D);
+* a fixed per-transaction cost of *becoming a writer*
+  (``write_txn_overhead``) — large on the commercial platform (undo/redo
+  bookkeeping), which is what makes the BW options lose their peak there
+  while the WT options do not (Figures 8 vs 9);
+* platform-specific prices for the strategy-introduced statements —
+  identity writes are cheap on PostgreSQL but expensive on the commercial
+  engine, while materialized ``Conflict`` updates are the reverse, which
+  reproduces the paper's "Promotion is faster than materialisation in
+  PostgreSQL, and vice-versa on the commercial system" (Guideline 4);
+* on the commercial platform ``SELECT FOR UPDATE`` marks rows in the data
+  blocks, so an SFU-only transaction still pays the commit flush (Oracle
+  semantics); on PostgreSQL it does not need one in this model;
+* a per-active-transaction overhead past a knee on the commercial
+  platform, giving the "rises to a peak at MPL 20–25 then declines
+  rapidly" thrashing shape of Figures 8/9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.engine.config import EngineConfig
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Cost model + engine semantics of one platform."""
+
+    name: str
+    engine_config: EngineConfig
+    statement_costs: Mapping[str, float]
+    default_statement_cost: float
+    commit_cpu: float
+    write_txn_overhead: float
+    network_rtt: float
+    wal_flush_time: float
+    wal_commit_delay: float
+    cpu_servers: int = 1
+    sfu_forces_flush: bool = False
+    thrash_knee: int = 10**9
+    thrash_factor: float = 0.0
+
+    def statement_cost(self, kind: str) -> float:
+        return self.statement_costs.get(kind, self.default_statement_cost)
+
+    def cpu_multiplier(self, active_clients: int) -> float:
+        """Per-statement CPU inflation from concurrency overhead."""
+        excess = max(0, active_clients - self.thrash_knee)
+        return 1.0 + self.thrash_factor * excess
+
+    def needs_flush(self, *, wrote_data: bool, used_sfu: bool) -> bool:
+        return wrote_data or (used_sfu and self.sfu_forces_flush)
+
+
+def postgres_platform() -> PlatformModel:
+    """PostgreSQL 8.2 on the paper's server (Figures 4–7).
+
+    Calibration arithmetic (uniform mix averages 3.8 statements per
+    transaction as implemented in :mod:`repro.smallbank.transactions`):
+    CPU per transaction ≈ 3.8·0.185 ms + 0.05 ms commit + 0.8·0.15 ms
+    writer overhead ≈ 0.87 ms, giving the ≈1150 TPS plateau the paper
+    reports; at MPL 1 the ≈10 ms group-commit wait dominates, so raising
+    the flushing fraction from 4/5 to 5/5 costs ≈20 %.
+    """
+    return PlatformModel(
+        name="postgres",
+        engine_config=EngineConfig.postgres(),
+        statement_costs=MappingProxyType(
+            {
+                "select": 0.000185,
+                "scan": 0.00037,
+                "update": 0.000185,
+                "insert": 0.000185,
+                "delete": 0.000185,
+                # Promotion's identity write: hot row, no index change —
+                # nearly free, hence PromoteWT ~ SI (Figure 5).
+                "identity-update": 0.00008,
+                # Materialization touches the extra Conflict table (one
+                # more buffer + WAL record): the ~10 % plateau drop of
+                # MaterializeWT/BW and the ~25 % of MaterializeALL.
+                "materialize-update": 0.00025,
+                "select-for-update": 0.0002,
+            }
+        ),
+        default_statement_cost=0.000185,
+        commit_cpu=0.00005,
+        write_txn_overhead=0.00015,
+        network_rtt=0.0003,
+        # IDE disk with the write cache disabled: ~10 ms per forced flush,
+        # 2 ms commit-delay gather window (group commit).
+        wal_flush_time=0.010,
+        wal_commit_delay=0.002,
+        sfu_forces_flush=False,
+    )
+
+
+def commercial_platform() -> PlatformModel:
+    """The commercial SI platform (Figures 8–9).
+
+    Calibration: lower raw per-statement cost but a heavy per-transaction
+    *writer* overhead (0.95 ms of undo/redo bookkeeping) ⇒ peak ≈ 850 TPS
+    around MPL 20; options that make the read-only Balance a writer (all
+    BW options — including SFU, which dirties data blocks on this
+    platform) push every transaction into that overhead and lose 15–20 %
+    of peak, while WT options do not (Figure 8 vs 9).  The identity write
+    is priced well above the Conflict update, reversing the PostgreSQL
+    materialize/promote ranking, and a per-active-transaction CPU
+    inflation past MPL 22 produces the post-peak decline.
+    """
+    return PlatformModel(
+        name="commercial",
+        engine_config=EngineConfig.commercial(),
+        statement_costs=MappingProxyType(
+            {
+                "select": 0.00009,
+                "scan": 0.00018,
+                "update": 0.00009,
+                "insert": 0.00009,
+                "delete": 0.00009,
+                "identity-update": 0.0004,
+                "materialize-update": 0.00005,
+                "select-for-update": 0.0001,
+            }
+        ),
+        default_statement_cost=0.00009,
+        commit_cpu=0.00005,
+        write_txn_overhead=0.00095,
+        network_rtt=0.0003,
+        wal_flush_time=0.010,
+        wal_commit_delay=0.001,
+        sfu_forces_flush=True,
+        thrash_knee=22,
+        thrash_factor=0.05,
+    )
+
+
+PLATFORMS = {
+    "postgres": postgres_platform,
+    "commercial": commercial_platform,
+}
+
+
+def get_platform(name: str) -> PlatformModel:
+    try:
+        return PLATFORMS[name]()
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(f"unknown platform {name!r}; known: {known}") from None

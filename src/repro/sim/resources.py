@@ -1,0 +1,136 @@
+"""Simulated hardware resources: CPU and the group-commit log disk.
+
+Two resources carry the paper's entire performance story (its Section IV-D
+analysis): a CPU that saturates — producing the throughput plateau — and a
+WAL disk whose forced flush every *update* transaction must wait for —
+producing the 20 % MPL-1 penalty of strategies that turn the read-only
+Balance program into an updater.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.core import SimEvent, Simulator
+
+
+class Resource:
+    """A FIFO server pool (e.g. the CPU: ``capacity=1`` for the paper's
+    single-core Pentium IV)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "res") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[SimEvent] = deque()
+        # Utilization accounting (busy integral over time).
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        while self.in_use >= self.capacity:
+            event = SimEvent(self.sim)
+            self._queue.append(event)
+            event.wait()
+        self._account()
+        self.in_use += 1
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self._account()
+        self.in_use -= 1
+        if self._queue:
+            self._queue.popleft().fire()
+
+    def use(self, duration: float) -> None:
+        """Hold one server for ``duration`` (the common pattern)."""
+        self.acquire()
+        try:
+            self.sim.sleep(duration)
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------
+    def _account(self) -> None:
+        self._busy_time += self.in_use * (self.sim.now - self._last_change)
+        self._last_change = self.sim.now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average busy fraction since ``since`` (per server)."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / (elapsed * self.capacity))
+
+
+class GroupCommitLog:
+    """The WAL disk with group commit.
+
+    A committing transaction calls :meth:`commit_flush` and is released
+    once a flush covering its record hits the platter.  While the disk is
+    idle, the first request opens a *gather window* of ``commit_delay``
+    (the paper: "We configured commit-delay ..., thus taking advantage of
+    group commit"); everything arriving within the window — or during the
+    ``flush_time`` of the previous flush — rides the next flush together.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        flush_time: float,
+        commit_delay: float = 0.0,
+    ) -> None:
+        if flush_time <= 0:
+            raise ValueError("flush_time must be positive")
+        self.sim = sim
+        self.flush_time = flush_time
+        self.commit_delay = commit_delay
+        self._pending: list[SimEvent] = []
+        self._active = False  # a gather window or flush is in progress
+        self.flush_count = 0
+        self.commits_flushed = 0
+
+    # ------------------------------------------------------------------
+    def commit_flush(self) -> None:
+        """(Process) wait until this commit's log record is durable."""
+        event = SimEvent(self.sim)
+        self._pending.append(event)
+        if not self._active:
+            self._active = True
+            self.sim.schedule(self.commit_delay, self._start_flush)
+        event.wait()
+
+    # -- scheduler-context machinery ------------------------------------
+    def _start_flush(self) -> None:
+        batch, self._pending = self._pending, []
+        if not batch:
+            self._active = False
+            return
+        self.flush_count += 1
+        self.commits_flushed += len(batch)
+        self.sim.schedule(
+            self.flush_time, lambda: self._finish_flush(batch)
+        )
+
+    def _finish_flush(self, batch: list[SimEvent]) -> None:
+        for event in batch:
+            event.fire()
+        if self._pending:
+            # Commits queued during the flush form the next batch at once:
+            # under load the disk streams back-to-back group flushes.
+            self._start_flush()
+        else:
+            self._active = False
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.flush_count == 0:
+            return 0.0
+        return self.commits_flushed / self.flush_count

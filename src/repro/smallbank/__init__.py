@@ -1,0 +1,93 @@
+"""The SmallBank benchmark: schema, programs, and modification strategies.
+
+Quick use::
+
+    from repro.engine import EngineConfig, Session
+    from repro.smallbank import build_database, get_strategy
+
+    strategy = get_strategy("promote-wt-upd")
+    db = build_database(EngineConfig.postgres())
+    txns = strategy.transactions()
+    session = Session(db)
+    total = txns.run(session, "Balance", {"N": "cust0000001"})
+"""
+
+from repro.smallbank.programs import (
+    AMALGAMATE,
+    BALANCE,
+    DEPOSIT_CHECKING,
+    PROGRAM_NAMES,
+    SHORT_NAMES,
+    TRANSACT_SAVING,
+    WRITE_CHECK,
+    smallbank_specs,
+)
+from repro.smallbank.schema import (
+    ACCOUNT,
+    CHECKING,
+    CONFLICT,
+    PAPER_CUSTOMERS,
+    PAPER_HOTSPOT,
+    PAPER_HOTSPOT_HIGH_CONTENTION,
+    SAVING,
+    PopulationConfig,
+    build_database,
+    customer_name,
+    smallbank_schemas,
+    total_money,
+)
+from repro.smallbank.strategies import (
+    ALL_STRATEGIES,
+    BASE_SI,
+    MATERIALIZE_ALL,
+    MATERIALIZE_BW,
+    MATERIALIZE_WT,
+    POSTGRES_STRATEGIES,
+    PROMOTE_ALL,
+    PROMOTE_BW_SFU,
+    PROMOTE_BW_UPD,
+    PROMOTE_WT_SFU,
+    PROMOTE_WT_UPD,
+    STRATEGIES_BY_KEY,
+    Strategy,
+    get_strategy,
+)
+from repro.smallbank.transactions import SmallBankTransactions
+
+__all__ = [
+    "ACCOUNT",
+    "ALL_STRATEGIES",
+    "AMALGAMATE",
+    "BALANCE",
+    "BASE_SI",
+    "CHECKING",
+    "CONFLICT",
+    "DEPOSIT_CHECKING",
+    "MATERIALIZE_ALL",
+    "MATERIALIZE_BW",
+    "MATERIALIZE_WT",
+    "PAPER_CUSTOMERS",
+    "PAPER_HOTSPOT",
+    "PAPER_HOTSPOT_HIGH_CONTENTION",
+    "POSTGRES_STRATEGIES",
+    "PROGRAM_NAMES",
+    "PROMOTE_ALL",
+    "PROMOTE_BW_SFU",
+    "PROMOTE_BW_UPD",
+    "PROMOTE_WT_SFU",
+    "PROMOTE_WT_UPD",
+    "SAVING",
+    "SHORT_NAMES",
+    "STRATEGIES_BY_KEY",
+    "SmallBankTransactions",
+    "PopulationConfig",
+    "Strategy",
+    "TRANSACT_SAVING",
+    "WRITE_CHECK",
+    "build_database",
+    "customer_name",
+    "get_strategy",
+    "smallbank_schemas",
+    "smallbank_specs",
+    "total_money",
+]

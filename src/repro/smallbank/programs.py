@@ -1,0 +1,136 @@
+"""Symbolic specs of the five SmallBank programs (paper Section III-B/C).
+
+The parameters are customer identities: each program's name parameter
+``N`` resolves (via the Account table) to a customer id ``x``; Account,
+Saving, Checking and Conflict rows of one customer are all keyed by that
+one identity, so the specs use a single parameter ``x`` (``x1``/``x2``
+for Amalgamate's two customers).
+
+The resulting SDG (built by :func:`repro.core.build_sdg`) reproduces the
+paper's Figure 1 exactly — the tests in ``tests/test_smallbank_sdg.py``
+assert every edge and that the only dangerous structure is
+``Balance -(v)-> WriteCheck -(v)-> TransactSaving``.
+"""
+
+from __future__ import annotations
+
+from repro.core import ProgramSet, ProgramSpec, read, write
+from repro.smallbank.schema import ACCOUNT, CHECKING, SAVING
+
+BALANCE = "Balance"
+DEPOSIT_CHECKING = "DepositChecking"
+TRANSACT_SAVING = "TransactSaving"
+AMALGAMATE = "Amalgamate"
+WRITE_CHECK = "WriteCheck"
+
+PROGRAM_NAMES = (
+    BALANCE,
+    DEPOSIT_CHECKING,
+    TRANSACT_SAVING,
+    AMALGAMATE,
+    WRITE_CHECK,
+)
+
+#: Short labels used in the paper's figures.
+SHORT_NAMES = {
+    BALANCE: "Bal",
+    DEPOSIT_CHECKING: "DC",
+    TRANSACT_SAVING: "TS",
+    AMALGAMATE: "Amg",
+    WRITE_CHECK: "WC",
+}
+
+
+def balance_spec() -> ProgramSpec:
+    """Bal(N): total of both balances; entirely read-only."""
+    return ProgramSpec(
+        BALANCE,
+        ("x",),
+        (
+            read(ACCOUNT, "x", "CustomerId"),
+            read(SAVING, "x", "Balance"),
+            read(CHECKING, "x", "Balance"),
+        ),
+        description="Calculate the customer's total balance (read-only).",
+    )
+
+
+def deposit_checking_spec() -> ProgramSpec:
+    """DC(N, V): checking += V — reads Checking only to modify it."""
+    return ProgramSpec(
+        DEPOSIT_CHECKING,
+        ("x",),
+        (
+            read(ACCOUNT, "x", "CustomerId"),
+            read(CHECKING, "x", "Balance"),
+            write(CHECKING, "x", "Balance"),
+        ),
+        description="Deposit into the checking account.",
+    )
+
+
+def transact_saving_spec() -> ProgramSpec:
+    """TS(N, V): saving += V (rolls back below zero)."""
+    return ProgramSpec(
+        TRANSACT_SAVING,
+        ("x",),
+        (
+            read(ACCOUNT, "x", "CustomerId"),
+            read(SAVING, "x", "Balance"),
+            write(SAVING, "x", "Balance"),
+        ),
+        description="Deposit to / withdraw from the savings account.",
+    )
+
+
+def amalgamate_spec() -> ProgramSpec:
+    """Amg(N1, N2): move all funds of customer 1 into customer 2's checking.
+
+    Crucially for the Figure 1 analysis: whenever Amg writes a Saving row it
+    also writes the same customer's Checking row, so WriteCheck's rw
+    conflict with Amg is always accompanied by a ww conflict.
+    """
+    return ProgramSpec(
+        AMALGAMATE,
+        ("x1", "x2"),
+        (
+            read(ACCOUNT, "x1", "CustomerId"),
+            read(ACCOUNT, "x2", "CustomerId"),
+            read(SAVING, "x1", "Balance"),
+            read(CHECKING, "x1", "Balance"),
+            write(SAVING, "x1", "Balance"),
+            write(CHECKING, "x1", "Balance"),
+            read(CHECKING, "x2", "Balance"),
+            write(CHECKING, "x2", "Balance"),
+        ),
+        description="Move all funds from one customer to another.",
+    )
+
+
+def write_check_spec() -> ProgramSpec:
+    """WC(N, V): reads both balances, debits Checking (maybe with penalty)."""
+    return ProgramSpec(
+        WRITE_CHECK,
+        ("x",),
+        (
+            read(ACCOUNT, "x", "CustomerId"),
+            read(SAVING, "x", "Balance"),
+            read(CHECKING, "x", "Balance"),
+            write(CHECKING, "x", "Balance"),
+        ),
+        description="Write a check against the total balance.",
+    )
+
+
+def smallbank_specs() -> ProgramSet:
+    """The unmodified SmallBank mix (the paper's Figure 1 input)."""
+    return ProgramSet(
+        [
+            balance_spec(),
+            deposit_checking_spec(),
+            transact_saving_spec(),
+            amalgamate_spec(),
+            write_check_spec(),
+        ],
+        name="SmallBank",
+    )

@@ -1,0 +1,271 @@
+"""Executable SmallBank transaction programs (paper Section III-B).
+
+The bodies are written with :mod:`repro.sqlmini` prepared statements so
+they match the SQL the paper prints (Program 1).  A
+:class:`SmallBankTransactions` instance is parameterized by the list of
+:class:`~repro.core.modify.Modification` records produced by the strategy
+transforms — the *same* records that rewrite the symbolic specs also
+rewrite the executable programs:
+
+* ``materialize`` on program P keyed by ``x`` → P additionally executes
+  ``UPDATE Conflict SET Value = Value + 1 WHERE Id = :x``;
+* ``promote-upd`` on table T keyed by ``x`` → P additionally executes the
+  identity write ``UPDATE T SET Balance = Balance WHERE CustomerId = :x``;
+* ``promote-sfu`` on table T keyed by ``x`` → P's read of T[x] becomes
+  ``SELECT ... FOR UPDATE``.
+
+Programs signal business-rule aborts (unknown customer, negative deposit,
+overdrawn savings) by rolling the session back and raising
+:class:`~repro.errors.ApplicationRollback` — these are *not* concurrency
+aborts and the workload driver counts them separately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.modify import Modification
+from repro.engine.session import Session
+from repro.errors import ApplicationRollback
+from repro.smallbank import programs as names
+from repro.smallbank.schema import CHECKING, CONFLICT, SAVING
+from repro.sqlmini import PreparedStatement
+
+# ----------------------------------------------------------------------
+# Prepared statements (parsed once at import)
+# ----------------------------------------------------------------------
+GET_ACCOUNT = PreparedStatement(
+    "SELECT CustomerId INTO :x FROM Account WHERE Name = :N"
+)
+GET_ACCOUNT_2 = PreparedStatement(
+    "SELECT CustomerId INTO :x2 FROM Account WHERE Name = :N2"
+)
+GET_SAVING = PreparedStatement(
+    "SELECT Balance INTO :a FROM Saving WHERE CustomerId = :x"
+)
+GET_SAVING_SFU = PreparedStatement(
+    "SELECT Balance INTO :a FROM Saving WHERE CustomerId = :x FOR UPDATE"
+)
+GET_CHECKING = PreparedStatement(
+    "SELECT Balance INTO :b FROM Checking WHERE CustomerId = :x"
+)
+GET_CHECKING_SFU = PreparedStatement(
+    "SELECT Balance INTO :b FROM Checking WHERE CustomerId = :x FOR UPDATE"
+)
+ADD_SAVING = PreparedStatement(
+    "UPDATE Saving SET Balance = Balance + :V WHERE CustomerId = :x"
+)
+ADD_CHECKING = PreparedStatement(
+    "UPDATE Checking SET Balance = Balance + :V WHERE CustomerId = :x"
+)
+DEBIT_CHECKING = PreparedStatement(
+    "UPDATE Checking SET Balance = Balance - :V WHERE CustomerId = :x"
+)
+DEBIT_CHECKING_PENALTY = PreparedStatement(
+    "UPDATE Checking SET Balance = Balance - (:V + 1) WHERE CustomerId = :x"
+)
+ZERO_SAVING = PreparedStatement(
+    "UPDATE Saving SET Balance = 0 WHERE CustomerId = :x"
+)
+ZERO_CHECKING = PreparedStatement(
+    "UPDATE Checking SET Balance = 0 WHERE CustomerId = :x"
+)
+IDENTITY_SAVING = PreparedStatement(
+    "UPDATE Saving SET Balance = Balance WHERE CustomerId = :x"
+)
+IDENTITY_CHECKING = PreparedStatement(
+    "UPDATE Checking SET Balance = Balance WHERE CustomerId = :x"
+)
+TOUCH_CONFLICT = PreparedStatement(
+    "UPDATE Conflict SET Value = Value + 1 WHERE Id = :x",
+    kind="materialize-update",
+)
+
+_IDENTITY = {SAVING: IDENTITY_SAVING, CHECKING: IDENTITY_CHECKING}
+
+ProgramBody = Callable[[Session, Mapping[str, object]], object]
+
+
+class SmallBankTransactions:
+    """The five programs, optionally rewritten by strategy modifications."""
+
+    def __init__(self, modifications: Iterable[Modification] = ()) -> None:
+        self.modifications = tuple(modifications)
+        # program -> ordered extra operations; program -> sfu'd reads.
+        self._materialize: dict[str, list[str]] = {}
+        self._promote: dict[str, list[tuple[str, str]]] = {}
+        self._sfu: dict[str, set[tuple[str, str]]] = {}
+        for mod in self.modifications:
+            if mod.kind == "materialize":
+                if mod.key is None:
+                    raise ValueError(
+                        "SmallBank materialization is keyed per customer; "
+                        f"got a constant-row modification for {mod.program}"
+                    )
+                self._materialize.setdefault(mod.program, []).append(mod.key)
+            elif mod.kind == "promote-upd":
+                self._promote.setdefault(mod.program, []).append(
+                    (mod.table, mod.key or "x")
+                )
+            elif mod.kind == "promote-sfu":
+                self._sfu.setdefault(mod.program, set()).add(
+                    (mod.table, mod.key or "x")
+                )
+            else:
+                raise ValueError(f"unknown modification kind {mod.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _lookup(
+        self, session: Session, statement: PreparedStatement, params: dict
+    ) -> None:
+        statement.execute(session, params)
+
+    def _resolve_customer(
+        self, session: Session, params: dict, name_var: str = "N"
+    ) -> int:
+        """Account lookup; rolls back when the name is unknown."""
+        if name_var == "N":
+            GET_ACCOUNT.execute(session, params)
+            cid = params.get("x")
+        else:
+            GET_ACCOUNT_2.execute(session, params)
+            cid = params.get("x2")
+        if cid is None:
+            session.rollback()
+            raise ApplicationRollback(f"unknown customer {params.get(name_var)!r}")
+        return cid
+
+    def _apply_extra_writes(
+        self, session: Session, program: str, bindings: Mapping[str, int]
+    ) -> None:
+        """Run the strategy-introduced statements for ``program``.
+
+        ``bindings`` maps spec parameter names (``x`` / ``x1`` / ``x2``) to
+        the customer ids this invocation resolved.
+        """
+        for key in self._materialize.get(program, ()):
+            TOUCH_CONFLICT.execute(session, {"x": bindings[key]})
+        for table, key in self._promote.get(program, ()):
+            _IDENTITY[table].execute(session, {"x": bindings[key]})
+
+    def _uses_sfu(self, program: str, table: str, key: str = "x") -> bool:
+        return (table, key) in self._sfu.get(program, set())
+
+    def _get_saving(self, session: Session, program: str, params: dict) -> None:
+        stmt = (
+            GET_SAVING_SFU if self._uses_sfu(program, SAVING) else GET_SAVING
+        )
+        stmt.execute(session, params)
+
+    def _get_checking(self, session: Session, program: str, params: dict) -> None:
+        stmt = (
+            GET_CHECKING_SFU
+            if self._uses_sfu(program, CHECKING)
+            else GET_CHECKING
+        )
+        stmt.execute(session, params)
+
+    # ------------------------------------------------------------------
+    # The five programs
+    # ------------------------------------------------------------------
+    def balance(self, session: Session, args: Mapping[str, object]) -> float:
+        """Bal(N): return savings + checking for the customer."""
+        params = {"N": args["N"]}
+        x = self._resolve_customer(session, params)
+        self._apply_extra_writes(session, names.BALANCE, {"x": x})
+        self._get_saving(session, names.BALANCE, params)
+        self._get_checking(session, names.BALANCE, params)
+        return float(params["a"]) + float(params["b"])
+
+    def deposit_checking(
+        self, session: Session, args: Mapping[str, object]
+    ) -> None:
+        """DC(N, V): checking += V; rolls back for negative V."""
+        value = float(args["V"])
+        if value < 0:
+            session.rollback()
+            raise ApplicationRollback("negative deposit")
+        params = {"N": args["N"], "V": value}
+        x = self._resolve_customer(session, params)
+        self._apply_extra_writes(session, names.DEPOSIT_CHECKING, {"x": x})
+        ADD_CHECKING.execute(session, params)
+
+    def transact_saving(
+        self, session: Session, args: Mapping[str, object]
+    ) -> None:
+        """TS(N, V): saving += V; rolls back if the result would be < 0."""
+        value = float(args["V"])
+        params = {"N": args["N"], "V": value}
+        x = self._resolve_customer(session, params)
+        self._apply_extra_writes(session, names.TRANSACT_SAVING, {"x": x})
+        self._get_saving(session, names.TRANSACT_SAVING, params)
+        if float(params["a"]) + value < 0:
+            session.rollback()
+            raise ApplicationRollback("savings would go negative")
+        ADD_SAVING.execute(session, params)
+
+    def amalgamate(self, session: Session, args: Mapping[str, object]) -> None:
+        """Amg(N1, N2): zero customer 1's accounts, credit customer 2."""
+        params: dict = {"N": args["N1"], "N2": args["N2"]}
+        x1 = self._resolve_customer(session, params, "N")
+        x2 = self._resolve_customer(session, params, "N2")
+        self._apply_extra_writes(
+            session, names.AMALGAMATE, {"x1": x1, "x2": x2}
+        )
+        self._get_saving(session, names.AMALGAMATE, params)
+        self._get_checking(session, names.AMALGAMATE, params)
+        total = float(params["a"]) + float(params["b"])
+        ZERO_SAVING.execute(session, {"x": x1})
+        ZERO_CHECKING.execute(session, {"x": x1})
+        ADD_CHECKING.execute(session, {"x": x2, "V": total})
+
+    def write_check(self, session: Session, args: Mapping[str, object]) -> bool:
+        """WC(N, V): debit checking by V, or V+1 when overdrawing.
+
+        Returns True when the overdraft penalty was charged (Program 1).
+        """
+        value = float(args["V"])
+        params = {"N": args["N"], "V": value}
+        x = self._resolve_customer(session, params)
+        self._apply_extra_writes(session, names.WRITE_CHECK, {"x": x})
+        self._get_saving(session, names.WRITE_CHECK, params)
+        self._get_checking(session, names.WRITE_CHECK, params)
+        total = float(params["a"]) + float(params["b"])
+        if total < value:
+            DEBIT_CHECKING_PENALTY.execute(session, params)
+            return True
+        DEBIT_CHECKING.execute(session, params)
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def body(self, program: str) -> ProgramBody:
+        bodies: dict[str, ProgramBody] = {
+            names.BALANCE: self.balance,
+            names.DEPOSIT_CHECKING: self.deposit_checking,
+            names.TRANSACT_SAVING: self.transact_saving,
+            names.AMALGAMATE: self.amalgamate,
+            names.WRITE_CHECK: self.write_check,
+        }
+        try:
+            return bodies[program]
+        except KeyError:
+            raise ValueError(f"unknown SmallBank program {program!r}") from None
+
+    def run(
+        self,
+        session: Session,
+        program: str,
+        args: Mapping[str, object],
+        *,
+        commit: bool = True,
+    ) -> object:
+        """Execute one program inside a fresh transaction on ``session``."""
+        session.begin(program)
+        result = self.body(program)(session, args)
+        if commit:
+            session.commit()
+        return result

@@ -1,0 +1,255 @@
+"""Abstract syntax for the mini SQL dialect.
+
+The dialect covers exactly what the paper's transaction programs (Program 1
+and the strategy modifications) need, in PL/pgSQL-flavoured form:
+
+* ``SELECT col [, col] [INTO :var [, :var]] FROM t [WHERE expr] [FOR UPDATE]``
+* ``UPDATE t SET col = expr [, col = expr] [WHERE expr]``
+* ``INSERT INTO t (col, ...) VALUES (expr, ...)``
+* ``DELETE FROM t [WHERE expr]``
+
+Expressions support column references, ``:parameter`` placeholders, numeric
+and string literals, ``+ - * /``, comparisons and ``AND`` / ``OR`` / ``NOT``.
+Statements are plain immutable dataclasses; the executor interprets them
+against a :class:`~repro.engine.session.Session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from repro.errors import SqlError
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / = != < <= > >= AND OR
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # NOT, -
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+Expr = Union[Literal, Param, ColumnRef, BinOp, UnaryOp]
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(
+    expr: Expr,
+    row: Optional[Mapping[str, object]],
+    params: Mapping[str, object],
+) -> object:
+    """Evaluate ``expr`` against a row (may be None) and bound parameters."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Param):
+        try:
+            return params[expr.name]
+        except KeyError:
+            raise SqlError(f"unbound parameter :{expr.name}") from None
+    if isinstance(expr, ColumnRef):
+        if row is None:
+            raise SqlError(f"column {expr.name!r} referenced outside a row context")
+        try:
+            return row[expr.name]
+        except KeyError:
+            raise SqlError(f"unknown column {expr.name!r}") from None
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, row, params)
+        if expr.op == "NOT":
+            return not value
+        if expr.op == "-":
+            return -value  # type: ignore[operator]
+        raise SqlError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        if expr.op == "AND":
+            return bool(evaluate(expr.left, row, params)) and bool(
+                evaluate(expr.right, row, params)
+            )
+        if expr.op == "OR":
+            return bool(evaluate(expr.left, row, params)) or bool(
+                evaluate(expr.right, row, params)
+            )
+        left = evaluate(expr.left, row, params)
+        right = evaluate(expr.right, row, params)
+        if expr.op in _ARITH:
+            return _ARITH[expr.op](left, right)  # type: ignore[arg-type]
+        if expr.op in _COMPARE:
+            return _COMPARE[expr.op](left, right)  # type: ignore[arg-type]
+        raise SqlError(f"unknown operator {expr.op!r}")
+    raise SqlError(f"unknown expression node {expr!r}")
+
+
+def columns_in(expr: Optional[Expr]) -> frozenset[str]:
+    """All column names referenced by ``expr``."""
+    if expr is None:
+        return frozenset()
+    if isinstance(expr, ColumnRef):
+        return frozenset({expr.name})
+    if isinstance(expr, BinOp):
+        return columns_in(expr.left) | columns_in(expr.right)
+    if isinstance(expr, UnaryOp):
+        return columns_in(expr.operand)
+    return frozenset()
+
+
+def equality_key(
+    where: Optional[Expr], column: str
+) -> Optional[Expr]:
+    """If ``where`` constrains ``column = <column-free expr>``, return it.
+
+    Recognizes the pattern directly or as a conjunct of an AND chain, which
+    is how the executor turns WHERE clauses into primary-key or unique-index
+    lookups instead of full scans.
+    """
+    if where is None:
+        return None
+    if isinstance(where, BinOp):
+        if where.op == "=":
+            if (
+                isinstance(where.left, ColumnRef)
+                and where.left.name == column
+                and not columns_in(where.right)
+            ):
+                return where.right
+            if (
+                isinstance(where.right, ColumnRef)
+                and where.right.name == column
+                and not columns_in(where.left)
+            ):
+                return where.left
+            return None
+        if where.op == "AND":
+            return equality_key(where.left, column) or equality_key(
+                where.right, column
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: tuple[str, ...]  # ("*",) selects every column
+    where: Optional[Expr] = None
+    into: tuple[str, ...] = ()
+    for_update: bool = False
+
+    def __str__(self) -> str:
+        parts = [f"SELECT {', '.join(self.columns)}"]
+        if self.into:
+            parts.append("INTO " + ", ".join(f":{name}" for name in self.into))
+        parts.append(f"FROM {self.table}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.for_update:
+            parts.append("FOR UPDATE")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the promotion idiom ``SET col = col`` (all assignments)."""
+        return all(
+            isinstance(expr, ColumnRef) and expr.name == column
+            for column, expr in self.assignments
+        )
+
+    def __str__(self) -> str:
+        sets = ", ".join(f"{col} = {expr}" for col, expr in self.assignments)
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where}"
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.values):
+            raise SqlError("INSERT column/value count mismatch")
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.columns)
+        vals = ", ".join(str(v) for v in self.values)
+        return f"INSERT INTO {self.table} ({cols}) VALUES ({vals})"
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where}"
+
+
+Statement = Union[Select, Update, Insert, Delete]

@@ -1,0 +1,34 @@
+"""Workload definitions and the threaded closed-system driver."""
+
+from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
+from repro.workload.mix import (
+    BALANCE60_MIX,
+    MIXES,
+    UNIFORM_MIX,
+    HotspotConfig,
+    ParameterGenerator,
+    TransactionMix,
+    get_mix,
+)
+from repro.workload.stats import (
+    AggregateResult,
+    RunStats,
+    mean_and_ci,
+    t_critical,
+)
+
+__all__ = [
+    "AggregateResult",
+    "BALANCE60_MIX",
+    "HotspotConfig",
+    "MIXES",
+    "ParameterGenerator",
+    "RunStats",
+    "ThreadedDriver",
+    "ThreadedDriverConfig",
+    "TransactionMix",
+    "UNIFORM_MIX",
+    "get_mix",
+    "mean_and_ci",
+    "t_critical",
+]

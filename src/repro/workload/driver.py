@@ -1,0 +1,93 @@
+"""The threaded (real-concurrency, wall-clock) closed-system driver.
+
+The performance figures come from the simulator (:mod:`repro.sim`), where
+time is modelled; this driver runs the same mix on real OS threads and is
+used for correctness under genuine concurrency (combine with
+:class:`~repro.analysis.SerializabilityChecker`) and for quick smoke
+benchmarks of the engine itself.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.engine.engine import Database
+from repro.engine.session import Session
+from repro.errors import ApplicationRollback, TransactionAborted
+from repro.smallbank.transactions import SmallBankTransactions
+from repro.workload.mix import HotspotConfig, ParameterGenerator, get_mix
+from repro.workload.stats import RunStats
+
+
+@dataclass(frozen=True)
+class ThreadedDriverConfig:
+    mpl: int = 4
+    customers: int = 100
+    hotspot: int = 10
+    hotspot_probability: float = 0.9
+    mix: str = "uniform"
+    duration: float = 1.0
+    ramp_up: float = 0.0
+    seed: int = 1
+
+
+class ThreadedDriver:
+    """Closed system of ``mpl`` real threads, no think time."""
+
+    def __init__(
+        self,
+        db: Database,
+        transactions: SmallBankTransactions,
+        config: ThreadedDriverConfig,
+    ) -> None:
+        self.db = db
+        self.transactions = transactions
+        self.config = config
+
+    def run(self) -> RunStats:
+        config = self.config
+        stats = RunStats(
+            window_start=config.ramp_up,
+            window_end=config.ramp_up + config.duration,
+        )
+        mix = get_mix(config.mix)
+        hotspot = HotspotConfig(
+            customers=config.customers,
+            hotspot=config.hotspot,
+            hotspot_probability=config.hotspot_probability,
+        )
+        epoch = time.monotonic()
+        deadline = epoch + config.ramp_up + config.duration
+
+        def clock() -> float:
+            return time.monotonic() - epoch
+
+        def worker(client_id: int) -> None:
+            rng = random.Random(f"{config.seed}/{client_id}")
+            generator = ParameterGenerator(hotspot, rng)
+            while time.monotonic() < deadline:
+                program = mix.choose(rng)
+                args = generator.args_for(program)
+                session = Session(self.db)
+                started = clock()
+                try:
+                    self.transactions.run(session, program, args)
+                    stats.record_commit(program, clock() - started, clock())
+                except ApplicationRollback:
+                    stats.record_rollback(program, clock())
+                except TransactionAborted as exc:
+                    session.rollback()
+                    stats.record_abort(program, exc.reason, clock())
+
+        threads = [
+            threading.Thread(target=worker, args=(client_id,), daemon=True)
+            for client_id in range(config.mpl)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=config.ramp_up + config.duration + 60)
+        return stats

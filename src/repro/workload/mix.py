@@ -1,0 +1,141 @@
+"""Transaction mixes and parameter generation (paper Section IV).
+
+The test driver "runs the five possible transactions", mostly with a
+uniform random distribution, plus a 60 %-Balance mix for the high
+contention experiment.  Parameters follow the paper's skew: "a fixed
+portion of the table is a hotspot, and 90 % of all transactions deal with
+a customer which is chosen uniformly in the hotspot"; the rest access
+uniformly outside it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.smallbank.programs import (
+    AMALGAMATE,
+    BALANCE,
+    DEPOSIT_CHECKING,
+    PROGRAM_NAMES,
+    TRANSACT_SAVING,
+    WRITE_CHECK,
+)
+from repro.smallbank.schema import customer_name
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Relative weights of the five programs."""
+
+    name: str
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(PROGRAM_NAMES)
+        if unknown:
+            raise ValueError(f"unknown programs in mix: {sorted(unknown)}")
+        if not self.weights or min(self.weights.values()) < 0:
+            raise ValueError("mix weights must be non-negative and non-empty")
+
+    def choose(self, rng: random.Random) -> str:
+        programs = list(self.weights)
+        weights = [self.weights[p] for p in programs]
+        return rng.choices(programs, weights=weights, k=1)[0]
+
+
+UNIFORM_MIX = TransactionMix(
+    "uniform", {program: 0.2 for program in PROGRAM_NAMES}
+)
+
+#: The high-contention experiment's mix: "60% of transactions are Balance".
+BALANCE60_MIX = TransactionMix(
+    "balance60",
+    {
+        BALANCE: 0.6,
+        DEPOSIT_CHECKING: 0.1,
+        TRANSACT_SAVING: 0.1,
+        AMALGAMATE: 0.1,
+        WRITE_CHECK: 0.1,
+    },
+)
+
+MIXES = {mix.name: mix for mix in (UNIFORM_MIX, BALANCE60_MIX)}
+
+
+def get_mix(name: str) -> TransactionMix:
+    try:
+        return MIXES[name]
+    except KeyError:
+        known = ", ".join(sorted(MIXES))
+        raise KeyError(f"unknown mix {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class HotspotConfig:
+    """Access-skew parameters."""
+
+    customers: int
+    hotspot: int
+    hotspot_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hotspot <= self.customers:
+            raise ValueError("hotspot must be within 1..customers")
+        if not 0.0 <= self.hotspot_probability <= 1.0:
+            raise ValueError("hotspot probability must be in [0, 1]")
+
+
+class ParameterGenerator:
+    """Random customers (hotspot-skewed) and amounts for each program.
+
+    Amount ranges are chosen so that business-rule rollbacks (overdrawn
+    savings, penalties) stay rare against the default population balances,
+    as in the paper's workload.
+    """
+
+    def __init__(self, config: HotspotConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+
+    def pick_customer(self) -> int:
+        cfg = self.config
+        in_hotspot = (
+            cfg.hotspot >= cfg.customers
+            or self.rng.random() < cfg.hotspot_probability
+        )
+        if in_hotspot:
+            return self.rng.randint(1, cfg.hotspot)
+        return self.rng.randint(cfg.hotspot + 1, cfg.customers)
+
+    def pick_two_customers(self) -> tuple[int, int]:
+        first = self.pick_customer()
+        second = self.pick_customer()
+        while second == first:
+            second = self.pick_customer()
+        return first, second
+
+    def args_for(self, program: str) -> dict[str, object]:
+        rng = self.rng
+        if program == BALANCE:
+            return {"N": customer_name(self.pick_customer())}
+        if program == DEPOSIT_CHECKING:
+            return {
+                "N": customer_name(self.pick_customer()),
+                "V": round(rng.uniform(1.0, 100.0), 2),
+            }
+        if program == TRANSACT_SAVING:
+            return {
+                "N": customer_name(self.pick_customer()),
+                "V": round(rng.uniform(-50.0, 100.0), 2),
+            }
+        if program == AMALGAMATE:
+            first, second = self.pick_two_customers()
+            return {"N1": customer_name(first), "N2": customer_name(second)}
+        if program == WRITE_CHECK:
+            return {
+                "N": customer_name(self.pick_customer()),
+                "V": round(rng.uniform(1.0, 50.0), 2),
+            }
+        raise ValueError(f"unknown program {program!r}")

@@ -1,0 +1,156 @@
+"""Workload measurement: per-run counters and cross-run aggregation.
+
+Mirrors the paper's protocol: a ramp-up period followed by a measurement
+interval; each (simulated or real) client thread "tracks how many
+transactions commit, how many abort (and for what reasons), and also the
+average response time"; runs are repeated and reported as the average with
+a 95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+try:  # scipy is available in the benchmark environment; keep it optional.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+#: Two-sided 95% Student-t critical values by degrees of freedom (fallback
+#: when scipy is unavailable).
+_T_TABLE = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def t_critical(dof: int, confidence: float = 0.95) -> float:
+    if dof <= 0:
+        return float("inf")
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    return _T_TABLE.get(dof, 1.96)
+
+
+def mean_and_ci(values: Iterable[float], confidence: float = 0.95) -> tuple[float, float]:
+    """Sample mean and half-width of the confidence interval."""
+    data = list(values)
+    if not data:
+        return 0.0, 0.0
+    mean = sum(data) / len(data)
+    if len(data) == 1:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+    half_width = t_critical(len(data) - 1, confidence) * math.sqrt(
+        variance / len(data)
+    )
+    return mean, half_width
+
+
+@dataclass
+class RunStats:
+    """Counters for one run's measurement window."""
+
+    window_start: float
+    window_end: float
+    commits: Counter = field(default_factory=Counter)
+    aborts: Counter = field(default_factory=Counter)  # (program, reason)
+    rollbacks: Counter = field(default_factory=Counter)
+    response_time_sum: float = 0.0
+    response_time_count: int = 0
+
+    # ------------------------------------------------------------------
+    def in_window(self, at: float) -> bool:
+        return self.window_start <= at < self.window_end
+
+    def record_commit(self, program: str, response_time: float, at: float) -> None:
+        if self.in_window(at):
+            self.commits[program] += 1
+            self.response_time_sum += response_time
+            self.response_time_count += 1
+
+    def record_abort(self, program: str, reason: str, at: float) -> None:
+        if self.in_window(at):
+            self.aborts[(program, reason)] += 1
+
+    def record_rollback(self, program: str, at: float) -> None:
+        if self.in_window(at):
+            self.rollbacks[program] += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        return self.window_end - self.window_start
+
+    @property
+    def total_commits(self) -> int:
+        return sum(self.commits.values())
+
+    @property
+    def tps(self) -> float:
+        return self.total_commits / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if self.response_time_count == 0:
+            return 0.0
+        return self.response_time_sum / self.response_time_count
+
+    def abort_count(self, program: Optional[str] = None) -> int:
+        return sum(
+            count
+            for (prog, _reason), count in self.aborts.items()
+            if program is None or prog == program
+        )
+
+    def abort_rate(self, program: Optional[str] = None) -> float:
+        """Serialization-failure style aborts as a fraction of attempts.
+
+        Attempts = commits + aborts of the program (business rollbacks are
+        intentional and excluded, matching the paper's Figure 6 metric of
+        "aborts due to a serialization failure error").
+        """
+        aborts = sum(
+            count
+            for (prog, reason), count in self.aborts.items()
+            if (program is None or prog == program)
+            and reason in ("serialization", "deadlock", "ssi")
+        )
+        commits = (
+            self.total_commits if program is None else self.commits[program]
+        )
+        attempts = commits + aborts
+        return aborts / attempts if attempts else 0.0
+
+
+@dataclass
+class AggregateResult:
+    """Mean ± 95 % CI over repeated runs of one configuration."""
+
+    runs: list[RunStats]
+
+    @property
+    def tps(self) -> float:
+        return mean_and_ci([r.tps for r in self.runs])[0]
+
+    @property
+    def tps_ci(self) -> float:
+        return mean_and_ci([r.tps for r in self.runs])[1]
+
+    @property
+    def mean_response_time(self) -> float:
+        return mean_and_ci([r.mean_response_time for r in self.runs])[0]
+
+    def abort_rate(self, program: Optional[str] = None) -> float:
+        return mean_and_ci([r.abort_rate(program) for r in self.runs])[0]
+
+    def commits_of(self, program: str) -> float:
+        return mean_and_ci([float(r.commits[program]) for r in self.runs])[0]
+
+    def describe(self) -> str:
+        return (
+            f"{self.tps:8.1f} ±{self.tps_ci:6.1f} TPS  "
+            f"(rt {self.mean_response_time * 1000:6.2f} ms, "
+            f"abort {self.abort_rate() * 100:5.2f}%)"
+        )

@@ -1,0 +1,64 @@
+"""Shared fixtures: a miniature two-table bank database.
+
+The tests that exercise raw engine semantics use this small schema directly;
+SmallBank-specific tests build the real benchmark schema from
+:mod:`repro.smallbank`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, Database, EngineConfig, TableSchema
+
+
+def bank_schemas() -> list[TableSchema]:
+    return [
+        TableSchema(
+            name="Saving",
+            columns=(Column("CustomerId", "int"), Column("Balance", "numeric")),
+            primary_key="CustomerId",
+        ),
+        TableSchema(
+            name="Checking",
+            columns=(Column("CustomerId", "int"), Column("Balance", "numeric")),
+            primary_key="CustomerId",
+        ),
+        TableSchema(
+            name="Account",
+            columns=(Column("Name", "text"), Column("CustomerId", "int")),
+            primary_key="Name",
+            unique=("CustomerId",),
+        ),
+    ]
+
+
+def make_bank_db(config: EngineConfig | None = None, customers: int = 3) -> Database:
+    db = Database(bank_schemas(), config)
+    for cid in range(1, customers + 1):
+        db.load_row("Account", {"Name": f"cust{cid}", "CustomerId": cid})
+        db.load_row("Saving", {"CustomerId": cid, "Balance": 100.0})
+        db.load_row("Checking", {"CustomerId": cid, "Balance": 50.0})
+    return db
+
+
+@pytest.fixture
+def db() -> Database:
+    """A PostgreSQL-style SI database with three customers."""
+    return make_bank_db()
+
+
+@pytest.fixture
+def commercial_db() -> Database:
+    """Commercial-platform SI (SFU acts as a concurrency-control write)."""
+    return make_bank_db(EngineConfig.commercial())
+
+
+@pytest.fixture
+def s2pl_db() -> Database:
+    return make_bank_db(EngineConfig.s2pl())
+
+
+@pytest.fixture
+def ssi_db() -> Database:
+    return make_bank_db(EngineConfig.ssi())

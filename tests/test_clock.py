@@ -1,0 +1,40 @@
+"""Tests for the logical clock."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine import LogicalClock
+
+
+def test_timestamps_start_after_bootstrap():
+    clock = LogicalClock()
+    assert clock.last == LogicalClock.BOOTSTRAP_TS == 0
+    assert clock.next() == 1
+
+
+def test_timestamps_strictly_increase():
+    clock = LogicalClock()
+    values = [clock.next() for _ in range(100)]
+    assert values == sorted(values)
+    assert len(set(values)) == len(values)
+    assert clock.last == values[-1]
+
+
+def test_clock_is_thread_safe():
+    clock = LogicalClock()
+    seen: list[int] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        local = [clock.next() for _ in range(500)]
+        with lock:
+            seen.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(seen) == 4000
+    assert len(set(seen)) == 4000

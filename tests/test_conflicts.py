@@ -1,0 +1,156 @@
+"""Tests for pairwise conflict/vulnerability analysis."""
+
+from __future__ import annotations
+
+from repro.core import (
+    ProgramSpec,
+    analyze_edge,
+    cc_write,
+    enumerate_scenarios,
+    read,
+    read_const,
+    write,
+    write_const,
+)
+
+
+def reader(name="R", table="T"):
+    return ProgramSpec(name, ("x",), (read(table, "x", "v"),))
+
+
+def writer(name="W", table="T"):
+    return ProgramSpec(name, ("x",), (write(table, "x", "v"),))
+
+
+def read_modify_writer(name="M", table="T"):
+    return ProgramSpec(
+        name, ("x",), (read(table, "x", "v"), write(table, "x", "v"))
+    )
+
+
+class TestScenarios:
+    def test_single_param_programs_have_two_scenarios(self):
+        scenarios = list(enumerate_scenarios(reader(), writer()))
+        descriptions = {s.describe() for s in scenarios}
+        assert descriptions == {"disjoint rows", "x = x"}
+
+    def test_two_param_target_scenarios(self):
+        p = reader()
+        q = ProgramSpec(
+            "Amg", ("x1", "x2"), (write("T", "x1", "v"), write("T", "x2", "v"))
+        )
+        descriptions = {s.describe() for s in enumerate_scenarios(p, q)}
+        assert descriptions == {"disjoint rows", "x1 = x", "x2 = x"}
+
+    def test_two_by_two_scenarios_are_injective(self):
+        p = ProgramSpec("P", ("a", "b"), (read("T", "a"), read("T", "b")))
+        q = ProgramSpec("Q", ("c", "d"), (write("T", "c"), write("T", "d")))
+        scenarios = list(enumerate_scenarios(p, q))
+        # empty + 4 single identifications + 2 full injections = 7.
+        assert len(scenarios) == 7
+        for s in scenarios:
+            mapped = [p for _q, p in s.identifications]
+            assert len(set(mapped)) == len(mapped)
+
+
+class TestEdgeAnalysis:
+    def test_pure_reader_to_writer_is_vulnerable(self):
+        analysis = analyze_edge(reader(), writer())
+        assert analysis.exists and analysis.vulnerable
+        assert analysis.conflict_kinds == frozenset({"rw"})
+        (item,) = analysis.vulnerable_items()
+        assert item.table == "T" and item.p_key == "x" and item.q_key == "x"
+
+    def test_reverse_direction_is_wr_not_vulnerable(self):
+        analysis = analyze_edge(writer(), reader())
+        assert analysis.exists and not analysis.vulnerable
+        assert analysis.conflict_kinds == frozenset({"wr"})
+
+    def test_read_modify_write_protects_the_edge(self):
+        """rw accompanied by ww in the same scenario is not vulnerable."""
+        analysis = analyze_edge(read_modify_writer(), writer())
+        assert analysis.exists
+        assert not analysis.vulnerable
+        assert "ww" in analysis.conflict_kinds
+
+    def test_protection_must_hold_in_every_rw_scenario(self):
+        """A ww in one scenario does not protect an rw in another."""
+        p = ProgramSpec(
+            "P",
+            ("a", "b"),
+            (read("T", "a", "v"), read("T", "b", "v"), write("T", "a", "v")),
+        )
+        q = writer("Q")
+        analysis = analyze_edge(p, q)
+        # Scenario x=a: rw+ww -> protected.  Scenario x=b: rw alone.
+        assert analysis.vulnerable
+        vulnerable_keys = {i.p_key for i in analysis.vulnerable_items()}
+        assert vulnerable_keys == {"b"}
+
+    def test_disjoint_tables_no_edge(self):
+        analysis = analyze_edge(reader(table="T"), writer(table="Other"))
+        assert not analysis.exists
+
+    def test_write_on_other_table_does_not_protect(self):
+        """ww protection must be on a shared item, not any write."""
+        p = ProgramSpec(
+            "P", ("x",), (read("T", "x", "v"), write("Mine", "x", "v"))
+        )
+        q = ProgramSpec(
+            "Q", ("x",), (write("T", "x", "v"), write("Theirs", "x", "v"))
+        )
+        assert analyze_edge(p, q).vulnerable
+
+    def test_constant_row_conflicts(self):
+        p = ProgramSpec("P", (), (read_const("T", "row0", "v"),))
+        q = ProgramSpec("Q", (), (write_const("T", "row0", "v"),))
+        analysis = analyze_edge(p, q)
+        assert analysis.vulnerable
+        (item,) = analysis.vulnerable_items()
+        assert item.const == "row0" and item.p_key is None
+
+    def test_shared_constant_write_protects(self):
+        p = ProgramSpec(
+            "P", (), (read_const("T", "row0", "v"), write_const("C", "shared"))
+        )
+        q = ProgramSpec(
+            "Q", (), (write_const("T", "row0", "v"), write_const("C", "shared"))
+        )
+        assert not analyze_edge(p, q).vulnerable
+
+    def test_self_edge_write_skew_shape(self):
+        """Program reads two rows, writes one: self-edge is vulnerable."""
+        p = ProgramSpec(
+            "P",
+            ("x",),
+            (read("S", "x", "v"), read("C", "x", "v"), write("C", "x", "v")),
+        )
+        analysis = analyze_edge(p, p)
+        # Same customer: rw on S is covered by... nothing on S; but ww on C
+        # protects the scenario.  So the x=x scenario is protected; the
+        # disjoint scenario has no conflict.
+        assert not analysis.vulnerable
+
+    def test_self_edge_disjoint_writers_vulnerable(self):
+        """Reads row a and writes row b: instances with crossed params."""
+        p = ProgramSpec(
+            "P", ("a", "b"), (read("T", "a", "v"), write("T", "b", "v"))
+        )
+        analysis = analyze_edge(p, p)
+        assert analysis.vulnerable
+
+
+class TestSfuSemantics:
+    def test_sfu_counts_as_write_on_commercial(self):
+        p = ProgramSpec("P", ("x",), (cc_write("T", "x", "v"),))
+        q = writer("Q")
+        commercial = analyze_edge(p, q, sfu_is_write=True)
+        assert not commercial.vulnerable
+        assert "ww" in commercial.conflict_kinds
+
+    def test_sfu_counts_as_read_on_postgres(self):
+        """PG lock-only SFU leaves the edge vulnerable (Section II-C)."""
+        p = ProgramSpec("P", ("x",), (cc_write("T", "x", "v"),))
+        q = writer("Q")
+        postgres = analyze_edge(p, q, sfu_is_write=False)
+        assert postgres.vulnerable

@@ -1,0 +1,79 @@
+"""Tests for minimal / greedy edge-fix selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ProgramSet,
+    ProgramSpec,
+    build_sdg,
+    greedy_fix,
+    minimal_fix,
+    read,
+    write,
+)
+from repro.errors import SpecError
+
+from tests.test_modify import skew_mix
+
+
+def chain_mix() -> ProgramSet:
+    """R -(v)-> M -(v)-> W : one dangerous structure, two candidate edges."""
+    return ProgramSet(
+        [
+            ProgramSpec("R", ("x",), (read("A", "x", "v"),)),
+            ProgramSpec(
+                "M",
+                ("x",),
+                (read("A", "x", "v"), write("A", "x", "v"), read("B", "x", "v")),
+            ),
+            ProgramSpec("W", ("x",), (read("B", "x", "v"), write("B", "x", "v"))),
+        ],
+        name="chain",
+    )
+
+
+class TestMinimalFix:
+    def test_single_edge_suffices_for_chain(self):
+        plan = minimal_fix(chain_mix(), method="materialize")
+        assert len(plan.edges) == 1
+        assert build_sdg(plan.programs).is_si_serializable()
+
+    def test_already_serializable_mix_needs_nothing(self):
+        safe = ProgramSet(
+            [ProgramSpec("Only", ("x",), (read("A", "x", "v"),
+                                          write("A", "x", "v")))],
+        )
+        plan = minimal_fix(safe)
+        assert plan.edges == () and plan.modifications == ()
+
+    def test_promotion_method(self):
+        plan = minimal_fix(chain_mix(), method="promote-upd")
+        assert len(plan.edges) == 1
+        assert all(m.kind == "promote-upd" for m in plan.modifications)
+        assert build_sdg(plan.programs).is_si_serializable()
+
+    def test_skew_mix_needs_one_edge(self):
+        plan = minimal_fix(skew_mix(), method="materialize")
+        assert len(plan.edges) == 1
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(SpecError):
+            minimal_fix(chain_mix(), max_edges=0)
+
+
+class TestGreedyFix:
+    def test_greedy_fix_converges(self):
+        plan = greedy_fix(chain_mix(), method="materialize")
+        assert build_sdg(plan.programs).is_si_serializable()
+        assert 1 <= len(plan.edges) <= 2
+
+    def test_greedy_matches_minimal_on_small_graphs(self):
+        minimal = minimal_fix(chain_mix(), method="promote-upd")
+        greedy = greedy_fix(chain_mix(), method="promote-upd")
+        assert len(greedy.edges) == len(minimal.edges)
+
+    def test_plan_describe(self):
+        plan = greedy_fix(chain_mix())
+        assert "materialize" in plan.describe()

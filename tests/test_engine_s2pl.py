@@ -1,0 +1,96 @@
+"""Strict two-phase locking mode (the conventional serializable baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, WaitOn
+from repro.engine.session import NoWaitWaiter, Session, WouldBlock
+from repro.errors import DeadlockError
+
+
+def write_balance(db, txn, table, cid, value):
+    return db.write(txn, table, cid, {"CustomerId": cid, "Balance": value})
+
+
+class TestS2pl:
+    def test_reads_take_shared_locks(self, s2pl_db: Database):
+        db = s2pl_db
+        t1 = db.begin()
+        db.read(t1, "Saving", 1)
+        assert db.locks.holds(t1.txid, ("Saving", 1))
+
+    def test_reader_blocks_writer(self, s2pl_db: Database):
+        db = s2pl_db
+        t1 = db.begin("reader")
+        t2 = db.begin("writer")
+        db.read(t1, "Saving", 1)
+        result = write_balance(db, t2, "Saving", 1, 0.0)
+        assert isinstance(result, WaitOn)
+        assert result.blocker_ids == {t1.txid}
+
+    def test_writer_blocks_reader(self, s2pl_db: Database):
+        db = s2pl_db
+        t1 = db.begin("writer")
+        t2 = db.begin("reader")
+        write_balance(db, t1, "Saving", 1, 0.0)
+        result = db.read(t2, "Saving", 1)
+        assert isinstance(result, WaitOn)
+
+    def test_reads_see_latest_committed_not_a_snapshot(self, s2pl_db):
+        db = s2pl_db
+        t1 = db.begin()
+        db.read(t1, "Checking", 2)  # lock something unrelated
+        t2 = db.begin()
+        write_balance(db, t2, "Saving", 1, 777.0)
+        db.commit(t2)
+        # t1 started before t2 committed, but 2PL reads current state.
+        assert db.read(t1, "Saving", 1)["Balance"] == 777.0
+
+    def test_blocked_writer_succeeds_after_reader_commits(self, s2pl_db):
+        """No first-updater-wins under 2PL: waiting is enough."""
+        db = s2pl_db
+        t1 = db.begin("reader")
+        t2 = db.begin("writer")
+        db.read(t1, "Saving", 1)
+        assert isinstance(write_balance(db, t2, "Saving", 1, 5.0), WaitOn)
+        db.commit(t1)
+        assert write_balance(db, t2, "Saving", 1, 5.0) is None
+        db.commit(t2)
+
+    def test_write_skew_prevented_by_read_locks(self, s2pl_db: Database):
+        """The SI write-skew scenario blocks (and would deadlock) under 2PL."""
+        db = s2pl_db
+        t1 = db.begin()
+        t2 = db.begin()
+        db.read(t1, "Saving", 1)
+        db.read(t1, "Checking", 1)
+        db.read(t2, "Saving", 1)
+        db.read(t2, "Checking", 1)
+        # Both try to upgrade different rows: each blocks on the other's
+        # shared lock -> deadlock, detected when the second wait registers.
+        blocked1 = write_balance(db, t1, "Checking", 1, 0.0)
+        assert isinstance(blocked1, WaitOn)
+        db.begin_wait(t1, blocked1)
+        blocked2 = write_balance(db, t2, "Saving", 1, 0.0)
+        assert isinstance(blocked2, WaitOn)
+        with pytest.raises(DeadlockError):
+            db.begin_wait(t2, blocked2)
+
+    def test_session_nowait_surfaces_block(self, s2pl_db: Database):
+        db = s2pl_db
+        holder = Session(db)
+        holder.begin("holder")
+        holder.update("Saving", 1, {"Balance": 1.0})
+        blocked = Session(db, waiter=NoWaitWaiter())
+        blocked.begin("blocked")
+        with pytest.raises(WouldBlock):
+            blocked.select("Saving", 1)
+
+    def test_scan_locks_matched_rows(self, s2pl_db: Database):
+        db = s2pl_db
+        t1 = db.begin()
+        rows = db.scan(t1, "Saving", lambda r: r["Balance"] >= 100.0)
+        assert len(rows) == 3
+        for cid in (1, 2, 3):
+            assert db.locks.holds(t1.txid, ("Saving", cid))

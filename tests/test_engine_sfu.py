@@ -1,0 +1,113 @@
+"""SELECT FOR UPDATE semantics — the PostgreSQL/commercial split.
+
+Section II-C of the paper: on the commercial platform SFU "is treated for
+concurrency control like an Update", whereas in PostgreSQL the interleaving
+``begin(T) begin(U) read-sfu(T,x) commit(T) write(U,x) commit(U)`` is
+allowed even though it leaves a vulnerable rw edge from T to U.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, WaitOn
+from repro.engine.transaction import TxnStatus
+from repro.errors import SerializationFailure
+
+
+def write_balance(db, txn, table, cid, value):
+    return db.write(txn, table, cid, {"CustomerId": cid, "Balance": value})
+
+
+class TestPostgresSfu:
+    def test_sfu_reads_the_snapshot_value(self, db: Database):
+        t1 = db.begin()
+        row = db.select_for_update(t1, "Saving", 1)
+        assert row["Balance"] == 100.0
+        assert ("Saving", 1) in t1.sfu_rows
+        assert not t1.cc_writes  # lock-only: no CC write registered
+
+    def test_sfu_blocks_concurrent_writer_while_active(self, db: Database):
+        t1 = db.begin("sfu")
+        t2 = db.begin("writer")
+        db.select_for_update(t1, "Saving", 1)
+        result = write_balance(db, t2, "Saving", 1, 0.0)
+        assert isinstance(result, WaitOn)
+        assert result.blocker_ids == {t1.txid}
+
+    def test_paper_interleaving_allowed_on_postgres(self, db: Database):
+        """read-sfu(T,x) commit(T) write(U,x) commit(U) succeeds on PG."""
+        t = db.begin("T")
+        u = db.begin("U")
+        db.select_for_update(t, "Saving", 1)
+        db.commit(t)
+        assert write_balance(db, u, "Saving", 1, 0.0) is None
+        db.commit(u)
+        assert u.status is TxnStatus.COMMITTED
+
+    def test_sfu_fails_on_stale_snapshot(self, db: Database):
+        """PG's FOR UPDATE follows the same FUW rule as UPDATE."""
+        t1 = db.begin()
+        t2 = db.begin()
+        write_balance(db, t2, "Saving", 1, 0.0)
+        db.commit(t2)
+        with pytest.raises(SerializationFailure):
+            db.select_for_update(t1, "Saving", 1)
+
+    def test_sfu_commit_is_not_a_wal_write(self, db: Database):
+        t1 = db.begin()
+        db.select_for_update(t1, "Saving", 1)
+        assert not t1.needs_wal_flush
+        db.commit(t1)
+        assert len(db.wal) == 0
+
+
+class TestCommercialSfu:
+    def test_sfu_registers_cc_write(self, commercial_db: Database):
+        t1 = commercial_db.begin()
+        commercial_db.select_for_update(t1, "Saving", 1)
+        assert ("Saving", 1) in t1.cc_writes
+        # SFU still needs no WAL flush: it writes no data.
+        assert not t1.needs_wal_flush
+
+    def test_paper_interleaving_rejected_on_commercial(
+        self, commercial_db: Database
+    ):
+        """The same interleaving fails: SFU acts like an update."""
+        db = commercial_db
+        t = db.begin("T")
+        u = db.begin("U")
+        db.select_for_update(t, "Saving", 1)
+        db.commit(t)
+        with pytest.raises(SerializationFailure):
+            write_balance(db, u, "Saving", 1, 0.0)
+        assert u.status is TxnStatus.ABORTED
+
+    def test_sfu_vs_sfu_conflict(self, commercial_db: Database):
+        db = commercial_db
+        t = db.begin("T")
+        u = db.begin("U")
+        db.select_for_update(t, "Saving", 1)
+        db.commit(t)
+        with pytest.raises(SerializationFailure):
+            db.select_for_update(u, "Saving", 1)
+
+    def test_non_concurrent_writer_unaffected(self, commercial_db: Database):
+        db = commercial_db
+        t = db.begin("T")
+        db.select_for_update(t, "Saving", 1)
+        db.commit(t)
+        u = db.begin("U")  # starts after T committed
+        assert write_balance(db, u, "Saving", 1, 0.0) is None
+        db.commit(u)
+
+    def test_sfu_on_different_rows_do_not_conflict(self, commercial_db):
+        db = commercial_db
+        t = db.begin()
+        u = db.begin()
+        db.select_for_update(t, "Saving", 1)
+        db.select_for_update(u, "Saving", 2)
+        db.commit(t)
+        db.commit(u)
+        assert t.status is TxnStatus.COMMITTED
+        assert u.status is TxnStatus.COMMITTED

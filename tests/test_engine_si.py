@@ -1,0 +1,305 @@
+"""Snapshot Isolation semantics, stepped manually through the engine API.
+
+These tests pin down the exact behaviours the paper's analysis relies on:
+snapshot reads, readers-never-block, first-updater-wins (both the immediate
+and the blocked-then-abort path), and write-skew being *allowed*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, EngineConfig, WaitOn
+from repro.engine.transaction import OWN_WRITE, TxnStatus
+from repro.errors import (
+    IntegrityError,
+    SerializationFailure,
+    TransactionStateError,
+)
+
+from tests.conftest import make_bank_db
+
+
+def balance(db: Database, table: str, cid: int) -> float:
+    txn = db.begin()
+    row = db.read(txn, table, cid)
+    db.commit(txn)
+    return row["Balance"]
+
+
+def write_balance(db, txn, table, cid, value):
+    result = db.write(txn, table, cid, {"CustomerId": cid, "Balance": value})
+    assert result is None
+    return result
+
+
+class TestSnapshotReads:
+    def test_reader_sees_data_as_of_its_snapshot(self, db: Database):
+        t1 = db.begin("reader")
+        t2 = db.begin("writer")
+        write_balance(db, t2, "Saving", 1, 999.0)
+        db.commit(t2)
+        # t1's snapshot predates t2's commit.
+        assert db.read(t1, "Saving", 1)["Balance"] == 100.0
+        db.commit(t1)
+        assert balance(db, "Saving", 1) == 999.0
+
+    def test_reads_are_repeatable_within_a_transaction(self, db: Database):
+        t1 = db.begin()
+        first = db.read(t1, "Saving", 1)["Balance"]
+        t2 = db.begin()
+        write_balance(db, t2, "Saving", 1, 0.0)
+        db.commit(t2)
+        assert db.read(t1, "Saving", 1)["Balance"] == first
+
+    def test_no_inconsistent_read_across_items(self, db: Database):
+        """A reader can never see part but not all of another transaction."""
+        t2 = db.begin("transfer")
+        write_balance(db, t2, "Saving", 1, 0.0)
+        write_balance(db, t2, "Checking", 1, 150.0)
+        t1 = db.begin("reader")  # snapshot before t2 commits
+        db.commit(t2)
+        saving = db.read(t1, "Saving", 1)["Balance"]
+        checking = db.read(t1, "Checking", 1)["Balance"]
+        assert (saving, checking) == (100.0, 50.0)  # entirely before t2
+
+    def test_reader_sees_own_writes(self, db: Database):
+        t1 = db.begin()
+        write_balance(db, t1, "Saving", 1, 42.0)
+        assert db.read(t1, "Saving", 1)["Balance"] == 42.0
+        assert t1.reads[("Saving", 1)] == OWN_WRITE
+
+    def test_readers_never_block_on_writers(self, db: Database):
+        t2 = db.begin("writer")
+        write_balance(db, t2, "Saving", 1, 7.0)
+        t1 = db.begin("reader")
+        result = db.read(t1, "Saving", 1)
+        assert not isinstance(result, WaitOn)
+        assert result["Balance"] == 100.0
+
+    def test_read_of_missing_row_returns_none_and_records_read(self, db):
+        t1 = db.begin()
+        assert db.read(t1, "Saving", 999) is None
+        assert t1.reads[("Saving", 999)] == 0
+
+
+class TestFirstUpdaterWins:
+    def test_immediate_abort_when_snapshot_is_stale(self, db: Database):
+        t1 = db.begin("loser")
+        t2 = db.begin("winner")
+        write_balance(db, t2, "Saving", 1, 1.0)
+        db.commit(t2)
+        with pytest.raises(SerializationFailure):
+            write_balance(db, t1, "Saving", 1, 2.0)
+        assert t1.status is TxnStatus.ABORTED
+
+    def test_writer_blocks_behind_uncommitted_writer(self, db: Database):
+        t1 = db.begin("holder")
+        t2 = db.begin("waiter")
+        write_balance(db, t1, "Saving", 1, 1.0)
+        result = db.write(t2, "Saving", 1, {"CustomerId": 1, "Balance": 2.0})
+        assert isinstance(result, WaitOn)
+        assert result.blocker_ids == {t1.txid}
+
+    def test_blocked_writer_aborts_after_holder_commits(self, db: Database):
+        t1 = db.begin("holder")
+        t2 = db.begin("waiter")
+        write_balance(db, t1, "Saving", 1, 1.0)
+        assert isinstance(
+            db.write(t2, "Saving", 1, {"CustomerId": 1, "Balance": 2.0}), WaitOn
+        )
+        db.commit(t1)
+        with pytest.raises(SerializationFailure):
+            db.write(t2, "Saving", 1, {"CustomerId": 1, "Balance": 2.0})
+
+    def test_blocked_writer_proceeds_after_holder_aborts(self, db: Database):
+        t1 = db.begin("holder")
+        t2 = db.begin("waiter")
+        write_balance(db, t1, "Saving", 1, 1.0)
+        assert isinstance(
+            db.write(t2, "Saving", 1, {"CustomerId": 1, "Balance": 2.0}), WaitOn
+        )
+        db.abort(t1)
+        write_balance(db, t2, "Saving", 1, 2.0)
+        db.commit(t2)
+        assert balance(db, "Saving", 1) == 2.0
+
+    def test_non_overlapping_writers_both_commit(self, db: Database):
+        t1 = db.begin()
+        write_balance(db, t1, "Saving", 1, 1.0)
+        db.commit(t1)
+        t2 = db.begin()  # starts after t1 committed: not concurrent
+        write_balance(db, t2, "Saving", 1, 2.0)
+        db.commit(t2)
+        assert balance(db, "Saving", 1) == 2.0
+
+    def test_lost_update_prevented(self, db: Database):
+        """Two concurrent increments: SI must not lose one."""
+        t1 = db.begin()
+        t2 = db.begin()
+        v1 = db.read(t1, "Saving", 1)["Balance"]
+        v2 = db.read(t2, "Saving", 1)["Balance"]
+        write_balance(db, t1, "Saving", 1, v1 + 10)
+        db.commit(t1)
+        with pytest.raises(SerializationFailure):
+            write_balance(db, t2, "Saving", 1, v2 + 10)
+        assert balance(db, "Saving", 1) == 110.0
+
+    def test_write_skew_is_allowed_by_si(self, db: Database):
+        """The anomaly SI does NOT prevent — the reason this paper exists.
+
+        Two transactions read both accounts of customer 1 and each updates
+        a *different* one; SI commits both even though no serial order
+        explains the result.
+        """
+        t1 = db.begin("WriteCheck-like")
+        t2 = db.begin("TransactSaving-like")
+        total1 = (
+            db.read(t1, "Saving", 1)["Balance"]
+            + db.read(t1, "Checking", 1)["Balance"]
+        )
+        total2 = (
+            db.read(t2, "Saving", 1)["Balance"]
+            + db.read(t2, "Checking", 1)["Balance"]
+        )
+        assert total1 == total2 == 150.0
+        write_balance(db, t1, "Checking", 1, 50.0 - 140.0)  # withdraw 140
+        write_balance(db, t2, "Saving", 1, 100.0 - 140.0)  # withdraw 140
+        db.commit(t1)
+        db.commit(t2)  # SI happily commits: disjoint write sets
+        assert balance(db, "Checking", 1) + balance(db, "Saving", 1) < 0
+
+
+class TestInsertDelete:
+    def test_insert_and_read_back(self, db: Database):
+        t1 = db.begin()
+        db.insert(
+            t1, "Account", {"Name": "zoe", "CustomerId": 99}
+        )
+        assert db.read(t1, "Account", "zoe")["CustomerId"] == 99
+        db.commit(t1)
+        t2 = db.begin()
+        assert db.read(t2, "Account", "zoe")["CustomerId"] == 99
+
+    def test_duplicate_insert_rejected(self, db: Database):
+        t1 = db.begin()
+        with pytest.raises(IntegrityError):
+            db.insert(t1, "Account", {"Name": "cust1", "CustomerId": 77})
+
+    def test_unique_constraint_enforced_at_commit(self, db: Database):
+        t1 = db.begin()
+        db.insert(t1, "Account", {"Name": "dup", "CustomerId": 1})
+        with pytest.raises(IntegrityError):
+            db.commit(t1)
+
+    def test_delete_hides_row_from_later_snapshots(self, db: Database):
+        t1 = db.begin()
+        db.delete(t1, "Account", "cust1")
+        db.commit(t1)
+        t2 = db.begin()
+        assert db.read(t2, "Account", "cust1") is None
+
+    def test_lookup_unique_finds_by_customer_id(self, db: Database):
+        t1 = db.begin()
+        found = db.lookup_unique(t1, "Account", "CustomerId", 2)
+        assert found is not None
+        key, row = found
+        assert key == "cust2" and row["Name"] == "cust2"
+        # The predicate read was recorded for phantom analysis.
+        assert t1.predicate_reads[0].matched_keys == ("cust2",)
+
+    def test_scan_with_predicate(self, db: Database):
+        t1 = db.begin()
+        rows = db.scan(
+            t1, "Saving", lambda r: r["Balance"] >= 100.0, "Balance >= 100"
+        )
+        assert len(rows) == 3
+
+    def test_write_key_mismatch_rejected(self, db: Database):
+        t1 = db.begin()
+        with pytest.raises(IntegrityError):
+            db.write(t1, "Saving", 1, {"CustomerId": 2, "Balance": 0.0})
+
+
+class TestLifecycle:
+    def test_operations_on_finished_txn_rejected(self, db: Database):
+        t1 = db.begin()
+        db.commit(t1)
+        with pytest.raises(TransactionStateError):
+            db.read(t1, "Saving", 1)
+        with pytest.raises(TransactionStateError):
+            db.commit(t1)
+
+    def test_abort_is_idempotent(self, db: Database):
+        t1 = db.begin()
+        db.abort(t1)
+        db.abort(t1)
+        assert t1.status is TxnStatus.ABORTED
+
+    def test_abort_discards_writes_and_releases_locks(self, db: Database):
+        t1 = db.begin()
+        write_balance(db, t1, "Saving", 1, 0.0)
+        db.abort(t1)
+        assert balance(db, "Saving", 1) == 100.0
+        t2 = db.begin()
+        write_balance(db, t2, "Saving", 1, 5.0)
+        db.commit(t2)
+        assert balance(db, "Saving", 1) == 5.0
+
+    def test_observers_fire_on_commit_and_abort(self):
+        seen = []
+        db = make_bank_db()
+        db.add_observer(lambda txn: seen.append((txn.txid, txn.status)))
+        t1 = db.begin()
+        db.commit(t1)
+        t2 = db.begin()
+        db.abort(t2)
+        assert seen == [
+            (t1.txid, TxnStatus.COMMITTED),
+            (t2.txid, TxnStatus.ABORTED),
+        ]
+
+    def test_read_only_commit_writes_no_wal_record(self, db: Database):
+        t1 = db.begin("Balance")
+        db.read(t1, "Saving", 1)
+        db.commit(t1)
+        assert len(db.wal) == 0
+        t2 = db.begin("Deposit")
+        write_balance(db, t2, "Saving", 1, 1.0)
+        db.commit(t2)
+        assert len(db.wal) == 1
+        assert db.wal.records[0].rows == (("Saving", 1),)
+
+    def test_concurrency_predicate(self, db: Database):
+        t1 = db.begin()
+        t2 = db.begin()
+        assert t1.concurrent_with(t2)
+        db.commit(t1)
+        t3 = db.begin()
+        assert not t1.concurrent_with(t3)
+        assert t2.concurrent_with(t3)
+
+
+class TestFirstCommitterWins:
+    def test_conflict_detected_at_commit_time(self):
+        db = make_bank_db(EngineConfig.first_committer_wins())
+        t1 = db.begin()
+        t2 = db.begin()
+        # Writes do not clash at write time (t1 writes, commits, THEN t2
+        # writes the same row — the lock is free by then).
+        write_balance(db, t1, "Saving", 1, 1.0)
+        db.commit(t1)
+        write_balance(db, t2, "Saving", 1, 2.0)
+        with pytest.raises(SerializationFailure):
+            db.commit(t2)
+        assert balance(db, "Saving", 1) == 1.0
+
+    def test_non_conflicting_commit_passes_validation(self):
+        db = make_bank_db(EngineConfig.first_committer_wins())
+        t1 = db.begin()
+        t2 = db.begin()
+        write_balance(db, t1, "Saving", 1, 1.0)
+        write_balance(db, t2, "Saving", 2, 2.0)
+        db.commit(t1)
+        db.commit(t2)
+        assert balance(db, "Saving", 2) == 2.0

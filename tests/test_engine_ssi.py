@@ -1,0 +1,99 @@
+"""SSI certifier mode (extension: runtime dangerous-structure detection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.transaction import TxnStatus
+from repro.errors import SsiAbort
+
+
+def write_balance(db, txn, table, cid, value):
+    return db.write(txn, table, cid, {"CustomerId": cid, "Balance": value})
+
+
+class TestSsiCertifier:
+    def test_write_skew_aborted(self, ssi_db: Database):
+        """The classic write skew: one of the two pivots must die."""
+        db = ssi_db
+        t1 = db.begin("wc")
+        t2 = db.begin("ts")
+        db.read(t1, "Saving", 1)
+        db.read(t1, "Checking", 1)
+        db.read(t2, "Saving", 1)
+        db.read(t2, "Checking", 1)
+        outcomes = []
+        for txn, table in ((t1, "Checking"), (t2, "Saving")):
+            try:
+                write_balance(db, txn, table, 1, 0.0)
+                db.commit(txn)
+                outcomes.append("committed")
+            except SsiAbort:
+                outcomes.append("aborted")
+        assert "aborted" in outcomes
+
+    def test_read_only_transactions_unaffected_when_alone(self, ssi_db):
+        db = ssi_db
+        t1 = db.begin()
+        db.read(t1, "Saving", 1)
+        db.read(t1, "Checking", 1)
+        db.commit(t1)
+        assert t1.status is TxnStatus.COMMITTED
+
+    def test_plain_update_conflict_still_fuw(self, ssi_db: Database):
+        """SSI layers on top of SI; FUW still applies to ww conflicts."""
+        from repro.errors import SerializationFailure
+
+        db = ssi_db
+        t1 = db.begin()
+        t2 = db.begin()
+        write_balance(db, t2, "Saving", 1, 1.0)
+        db.commit(t2)
+        with pytest.raises(SerializationFailure):
+            write_balance(db, t1, "Saving", 1, 2.0)
+
+    def test_non_conflicting_transactions_commit(self, ssi_db: Database):
+        db = ssi_db
+        t1 = db.begin()
+        t2 = db.begin()
+        db.read(t1, "Saving", 1)
+        write_balance(db, t1, "Saving", 1, 1.0)
+        db.read(t2, "Saving", 2)
+        write_balance(db, t2, "Saving", 2, 2.0)
+        db.commit(t1)
+        db.commit(t2)
+        assert t1.status is TxnStatus.COMMITTED
+        assert t2.status is TxnStatus.COMMITTED
+
+    def test_sequential_transactions_never_aborted(self, ssi_db: Database):
+        db = ssi_db
+        for _ in range(5):
+            t = db.begin()
+            current = db.read(t, "Saving", 1)["Balance"]
+            write_balance(db, t, "Saving", 1, current + 1)
+            db.commit(t)
+            assert t.status is TxnStatus.COMMITTED
+        final = db.begin()
+        assert db.read(final, "Saving", 1)["Balance"] == 105.0
+
+    def test_doomed_transaction_aborts_at_next_operation(self, ssi_db):
+        """A pivot learns of its doom at its next engine call."""
+        db = ssi_db
+        pivot = db.begin("pivot")
+        db.read(pivot, "Saving", 1)  # will become out-conflict
+        # Reader that will later be overwritten by the pivot.
+        reader = db.begin("reader")
+        db.read(reader, "Checking", 1)
+        # Pivot writes what the reader read -> in-edge into pivot... and a
+        # concurrent writer overwrites what the pivot read -> out-edge.
+        write_balance(db, pivot, "Checking", 1, 0.0)
+        writer = db.begin("writer")
+        write_balance(db, writer, "Saving", 1, 0.0)
+        db.commit(writer)
+        with pytest.raises(SsiAbort):
+            db.commit(pivot)
+        assert pivot.status is TxnStatus.ABORTED
+        # The other two are free to commit.
+        db.commit(reader)
+        assert reader.status is TxnStatus.COMMITTED

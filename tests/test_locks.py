@@ -1,0 +1,115 @@
+"""Tests for the lock manager and deadlock detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import LockManager, LockMode
+from repro.errors import DeadlockError
+
+ROW_A = ("T", 1)
+ROW_B = ("T", 2)
+
+
+@pytest.fixture
+def lm() -> LockManager:
+    return LockManager()
+
+
+def test_exclusive_lock_grant_and_conflict(lm: LockManager):
+    assert lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE) == frozenset()
+    assert lm.holds(1, ROW_A, LockMode.EXCLUSIVE)
+    assert lm.try_acquire(2, ROW_A, LockMode.EXCLUSIVE) == frozenset({1})
+    assert not lm.holds(2, ROW_A)
+
+
+def test_reacquire_is_idempotent(lm: LockManager):
+    assert lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE) == frozenset()
+    assert lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE) == frozenset()
+    assert lm.rows_held_by(1) == frozenset({ROW_A})
+
+
+def test_shared_locks_are_compatible(lm: LockManager):
+    assert lm.try_acquire(1, ROW_A, LockMode.SHARED) == frozenset()
+    assert lm.try_acquire(2, ROW_A, LockMode.SHARED) == frozenset()
+    assert lm.holders(ROW_A) == {1: LockMode.SHARED, 2: LockMode.SHARED}
+
+
+def test_shared_blocks_exclusive_and_vice_versa(lm: LockManager):
+    lm.try_acquire(1, ROW_A, LockMode.SHARED)
+    assert lm.try_acquire(2, ROW_A, LockMode.EXCLUSIVE) == frozenset({1})
+    lm.try_acquire(3, ROW_B, LockMode.EXCLUSIVE)
+    assert lm.try_acquire(4, ROW_B, LockMode.SHARED) == frozenset({3})
+
+
+def test_upgrade_shared_to_exclusive(lm: LockManager):
+    lm.try_acquire(1, ROW_A, LockMode.SHARED)
+    assert lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE) == frozenset()
+    assert lm.holds(1, ROW_A, LockMode.EXCLUSIVE)
+
+
+def test_upgrade_blocked_by_other_sharer(lm: LockManager):
+    lm.try_acquire(1, ROW_A, LockMode.SHARED)
+    lm.try_acquire(2, ROW_A, LockMode.SHARED)
+    assert lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE) == frozenset({2})
+    # The failed upgrade must not have downgraded or lost the shared lock.
+    assert lm.holds(1, ROW_A, LockMode.SHARED)
+
+
+def test_release_all_frees_rows(lm: LockManager):
+    lm.try_acquire(1, ROW_A, LockMode.EXCLUSIVE)
+    lm.try_acquire(1, ROW_B, LockMode.EXCLUSIVE)
+    freed = lm.release_all(1)
+    assert set(freed) == {ROW_A, ROW_B}
+    assert lm.try_acquire(2, ROW_A, LockMode.EXCLUSIVE) == frozenset()
+    assert lm.rows_held_by(1) == frozenset()
+
+
+def test_release_all_unknown_txn_is_noop(lm: LockManager):
+    assert lm.release_all(99) == []
+
+
+def test_multiple_blockers_reported(lm: LockManager):
+    lm.try_acquire(1, ROW_A, LockMode.SHARED)
+    lm.try_acquire(2, ROW_A, LockMode.SHARED)
+    assert lm.try_acquire(3, ROW_A, LockMode.EXCLUSIVE) == frozenset({1, 2})
+
+
+class TestDeadlockDetection:
+    def test_two_party_cycle_detected(self, lm: LockManager):
+        lm.begin_wait(1, [2])
+        with pytest.raises(DeadlockError):
+            lm.begin_wait(2, [1])
+        # The failed registration leaves no edge behind.
+        assert lm.waiting_for(2) == frozenset()
+
+    def test_three_party_cycle_detected(self, lm: LockManager):
+        lm.begin_wait(1, [2])
+        lm.begin_wait(2, [3])
+        with pytest.raises(DeadlockError):
+            lm.begin_wait(3, [1])
+
+    def test_chain_without_cycle_is_fine(self, lm: LockManager):
+        lm.begin_wait(1, [2])
+        lm.begin_wait(2, [3])
+        lm.begin_wait(4, [3])
+        assert lm.waiting_for(1) == frozenset({2})
+
+    def test_end_wait_clears_edges(self, lm: LockManager):
+        lm.begin_wait(1, [2])
+        lm.end_wait(1)
+        lm.begin_wait(2, [1])  # no cycle anymore
+
+    def test_self_wait_rejected(self, lm: LockManager):
+        with pytest.raises(ValueError):
+            lm.begin_wait(1, [1])
+
+    def test_release_all_clears_waits(self, lm: LockManager):
+        lm.begin_wait(1, [2])
+        lm.release_all(1)
+        assert lm.waiting_for(1) == frozenset()
+
+    def test_waiting_on_multiple_blockers(self, lm: LockManager):
+        lm.begin_wait(3, [1, 2])
+        with pytest.raises(DeadlockError):
+            lm.begin_wait(2, [3])

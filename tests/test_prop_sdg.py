@@ -1,0 +1,124 @@
+"""Property-based tests: SDG analysis and strategy-transform invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ProgramSet,
+    ProgramSpec,
+    build_sdg,
+    materialize_all,
+    promote_all,
+    read,
+    write,
+)
+
+TABLES = ("A", "B", "C")
+
+
+@st.composite
+def program_sets(draw) -> ProgramSet:
+    """Random single-parameter program mixes over three tables."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    programs = []
+    for index in range(count):
+        accesses = []
+        for table in TABLES:
+            mode = draw(
+                st.sampled_from(["none", "read", "write", "read-write"])
+            )
+            if mode in ("read", "read-write"):
+                accesses.append(read(table, "x", "v"))
+            if mode in ("write", "read-write"):
+                accesses.append(write(table, "x", "v"))
+        if not accesses:
+            accesses.append(read("A", "x", "v"))
+        programs.append(ProgramSpec(f"P{index}", ("x",), tuple(accesses)))
+    return ProgramSet(programs)
+
+
+@given(program_sets())
+@settings(max_examples=150, deadline=None)
+def test_edge_existence_is_symmetric(mix):
+    """An rw conflict seen from the other side is a wr conflict: the edge
+    relation (ignoring labels) is symmetric."""
+    sdg = build_sdg(mix)
+    for source in sdg.nodes:
+        for target in sdg.nodes:
+            assert sdg.has_edge(source, target) == sdg.has_edge(
+                target, source
+            )
+
+
+@given(program_sets())
+@settings(max_examples=150, deadline=None)
+def test_read_modify_write_closure_has_no_vulnerable_edges(mix):
+    """If every program writes everything it reads, nothing is vulnerable."""
+    closed = ProgramSet(
+        [
+            spec.with_access(
+                *[
+                    write(access.table, "x", "v")
+                    for access in spec.reads()
+                ]
+            )
+            for spec in mix
+        ]
+    )
+    sdg = build_sdg(closed)
+    assert sdg.vulnerable_edges() == ()
+    assert sdg.is_si_serializable()
+
+
+@given(program_sets())
+@settings(max_examples=75, deadline=None)
+def test_materialize_all_certifies_any_mix(mix):
+    fixed, _mods = materialize_all(mix)
+    sdg = build_sdg(fixed)
+    assert sdg.vulnerable_edges() == ()
+    assert sdg.is_si_serializable()
+
+
+@given(program_sets())
+@settings(max_examples=75, deadline=None)
+def test_promote_all_certifies_any_mix(mix):
+    fixed, _mods = promote_all(mix)
+    sdg = build_sdg(fixed)
+    assert sdg.vulnerable_edges() == ()
+    assert sdg.is_si_serializable()
+
+
+@given(program_sets())
+@settings(max_examples=75, deadline=None)
+def test_transforms_never_remove_accesses(mix):
+    """Strategies only add (or strengthen) accesses — semantics preserved."""
+    fixed, _mods = promote_all(mix)
+    for spec in mix:
+        before = set(spec.accesses)
+        after = set(fixed[spec.name].accesses)
+        assert before <= after
+
+
+@given(program_sets())
+@settings(max_examples=75, deadline=None)
+def test_vulnerable_edges_are_a_subset_of_edges(mix):
+    sdg = build_sdg(mix)
+    for source, target in sdg.vulnerable_edges():
+        assert sdg.has_edge(source, target)
+        analysis = sdg.edge(source, target)
+        assert "rw" in analysis.conflict_kinds
+
+
+@given(program_sets())
+@settings(max_examples=75, deadline=None)
+def test_dangerous_structures_imply_consecutive_vulnerable_edges(mix):
+    sdg = build_sdg(mix)
+    for structure in sdg.dangerous_structures():
+        assert sdg.is_vulnerable(structure.source, structure.pivot)
+        assert sdg.is_vulnerable(structure.pivot, structure.sink)
+    if sdg.is_si_serializable():
+        # No pivot: no program has both an incoming and outgoing
+        # vulnerable edge that close a cycle.
+        assert sdg.pivots() == ()

@@ -1,0 +1,128 @@
+"""Property-based tests: simulator determinism and resource invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Simulator
+from repro.sim.resources import GroupCommitLog, Resource
+
+sleep_patterns = st.lists(
+    st.lists(
+        st.floats(min_value=0.001, max_value=0.5, allow_nan=False),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def run_pattern(pattern) -> list[tuple[int, float]]:
+    sim = Simulator()
+    trace: list[tuple[int, float]] = []
+
+    def make(pid: int, sleeps):
+        def proc():
+            for duration in sleeps:
+                sim.sleep(duration)
+                trace.append((pid, sim.now))
+
+        return proc
+
+    for pid, sleeps in enumerate(pattern):
+        sim.spawn(make(pid, sleeps), name=f"p{pid}")
+    sim.run_for(10.0)
+    sim.shutdown()
+    return trace
+
+
+@given(sleep_patterns)
+@settings(max_examples=60, deadline=None)
+def test_simulation_is_deterministic(pattern):
+    assert run_pattern(pattern) == run_pattern(pattern)
+
+
+@given(sleep_patterns)
+@settings(max_examples=60, deadline=None)
+def test_time_never_goes_backwards(pattern):
+    trace = run_pattern(pattern)
+    times = [at for _pid, at in trace]
+    assert times == sorted(times)
+    assert all(at >= 0 for at in times)
+
+
+@given(sleep_patterns)
+@settings(max_examples=60, deadline=None)
+def test_every_process_finishes_its_schedule(pattern):
+    trace = run_pattern(pattern)
+    for pid, sleeps in enumerate(pattern):
+        events = [at for p, at in trace if p == pid]
+        assert len(events) == len(sleeps)
+        # Each process wakes at its cumulative sleep time.
+        cumulative = 0.0
+        for duration, at in zip(sleeps, events):
+            cumulative += duration
+            assert abs(at - cumulative) < 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.lists(
+        st.floats(min_value=0.01, max_value=0.2, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_capacity_never_exceeded(capacity, demands):
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    peak = [0]
+
+    def user(duration: float):
+        def proc():
+            resource.acquire()
+            peak[0] = max(peak[0], resource.in_use)
+            sim.sleep(duration)
+            resource.release()
+
+        return proc
+
+    for duration in demands:
+        sim.spawn(user(duration))
+    sim.run_for(60.0)
+    sim.shutdown()
+    assert peak[0] <= capacity
+    assert resource.in_use == 0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_group_commit_serves_every_request_exactly_once(arrivals):
+    sim = Simulator()
+    wal = GroupCommitLog(sim, flush_time=0.01, commit_delay=0.002)
+    done = [0]
+
+    def committer(offset: float):
+        def proc():
+            sim.sleep(offset)
+            wal.commit_flush()
+            done[0] += 1
+
+        return proc
+
+    for offset in arrivals:
+        sim.spawn(committer(offset))
+    sim.run_for(10.0)
+    sim.shutdown()
+    assert done[0] == len(arrivals)
+    assert wal.commits_flushed == len(arrivals)
+    assert 1 <= wal.flush_count <= len(arrivals)

@@ -1,0 +1,85 @@
+"""Property-based tests: version-chain invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.versions import Version, VersionChain, freeze_row
+
+
+@st.composite
+def chains(draw) -> VersionChain:
+    """A chain with strictly increasing commit timestamps, some tombstones."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    gaps = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=9),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    chain = VersionChain()
+    ts = 0
+    for index, gap in enumerate(gaps):
+        ts += gap
+        tombstone = draw(st.booleans())
+        value = None if tombstone else freeze_row({"v": index})
+        chain.append_committed(Version(ts, txid=index + 1, value=value))
+    return chain
+
+
+@given(chains(), st.integers(min_value=0, max_value=150))
+@settings(max_examples=200)
+def test_visible_version_is_newest_at_or_before_snapshot(chain, snapshot):
+    version = chain.visible(snapshot)
+    committed = chain.committed
+    eligible = [v for v in committed if v.commit_ts <= snapshot]
+    if not eligible:
+        assert version is None
+    else:
+        assert version is eligible[-1]
+
+
+@given(chains())
+@settings(max_examples=200)
+def test_visibility_is_monotone_in_snapshot(chain):
+    """A later snapshot never sees an older version."""
+    previous_ts = -1
+    for snapshot in range(0, 130, 7):
+        version = chain.visible(snapshot)
+        current_ts = version.commit_ts if version else -1
+        assert current_ts >= previous_ts
+        previous_ts = current_ts
+
+
+@given(chains())
+@settings(max_examples=200)
+def test_successor_links_walk_the_whole_chain(chain):
+    walked = []
+    ts = 0
+    while True:
+        nxt = chain.successor_of(ts)
+        if nxt is None:
+            break
+        walked.append(nxt.commit_ts)
+        ts = nxt.commit_ts
+    assert walked == [v.commit_ts for v in chain.committed]
+
+
+@given(chains(), st.integers(min_value=0, max_value=150))
+@settings(max_examples=200)
+def test_exists_iff_visible_and_not_tombstone(chain, snapshot):
+    version = chain.visible(snapshot)
+    expected = version is not None and not version.is_tombstone
+    assert chain.exists_at(snapshot) == expected
+
+
+@given(chains())
+@settings(max_examples=100)
+def test_latest_commit_ts_matches_tail(chain):
+    if len(chain) == 0:
+        assert chain.latest_commit_ts() == 0
+    else:
+        assert chain.latest_commit_ts() == chain.committed[-1].commit_ts
+        assert chain.version_at(chain.latest_commit_ts()) is chain.committed[-1]

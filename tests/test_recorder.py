@@ -1,0 +1,82 @@
+"""Recorder tests: committed footprints captured from a live database."""
+
+from __future__ import annotations
+
+from repro.analysis import SerializabilityChecker, record_database
+from repro.engine import Database, Session
+
+
+class TestRecorder:
+    def test_commit_recorded_with_footprint(self, db: Database):
+        recorder = record_database(db)
+        session = Session(db)
+        session.begin("move")
+        session.select("Saving", 1)
+        session.update("Checking", 1, {"Balance": 0.0})
+        session.commit()
+        (record,) = recorder.committed
+        assert record.label == "move"
+        assert record.writes == (("Checking", 1),)
+        read_items = [row for row, _ts in record.reads]
+        assert ("Saving", 1) in read_items
+        assert record.commit_ts is not None
+
+    def test_own_write_reads_excluded(self, db: Database):
+        recorder = record_database(db)
+        session = Session(db)
+        session.begin()
+        session.update("Checking", 1, {"Balance": 1.0})
+        session.select("Checking", 1)  # own write
+        session.commit()
+        (record,) = recorder.committed
+        # The update's internal read of the pre-image IS recorded (it read
+        # the snapshot version); the later own-write read adds nothing.
+        versions = dict(record.reads)
+        assert versions[("Checking", 1)] == 0
+
+    def test_aborts_counted_not_recorded(self, db: Database):
+        recorder = record_database(db)
+        session = Session(db)
+        session.begin()
+        session.update("Checking", 1, {"Balance": 1.0})
+        session.rollback()
+        assert len(recorder) == 0
+        assert recorder.aborted_count == 1
+
+    def test_clear(self, db: Database):
+        recorder = record_database(db)
+        session = Session(db)
+        session.begin()
+        session.select("Saving", 1)
+        session.commit()
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_read_version_lookup(self, db: Database):
+        recorder = record_database(db)
+        writer = Session(db)
+        writer.begin()
+        writer.update("Saving", 1, {"Balance": 7.0})
+        writer.commit()
+        reader = Session(db)
+        reader.begin()
+        reader.select("Saving", 1)
+        reader.commit()
+        write_record, read_record = recorder.committed
+        assert read_record.read_version(("Saving", 1)) == write_record.commit_ts
+        assert read_record.read_version(("Saving", 99)) is None
+        assert read_record.is_read_only
+        assert not write_record.is_read_only
+
+    def test_checker_facade_on_live_db(self, db: Database):
+        checker = SerializabilityChecker(db)
+        for cid in (1, 2, 3):
+            session = Session(db)
+            session.begin("touch")
+            session.update("Saving", cid, lambda r: {"Balance": r["Balance"] + 1})
+            session.commit()
+        report = checker.report()
+        assert report.serializable
+        assert report.committed_count == 3
+        assert report.serial_order is not None and len(report.serial_order) == 3
+        assert "serializable" in report.describe()

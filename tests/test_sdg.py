@@ -1,0 +1,145 @@
+"""Tests for SDG construction, dangerous structures and the main theorem."""
+
+from __future__ import annotations
+
+from repro.core import ProgramSet, ProgramSpec, build_sdg, read, write
+
+
+def spec(name: str, *accesses) -> ProgramSpec:
+    return ProgramSpec(name, ("x",), tuple(accesses))
+
+
+def write_skew_mix() -> ProgramSet:
+    """The minimal dangerous mix: two programs reading both rows, each
+    writing a different one, plus nothing else."""
+    return ProgramSet(
+        [
+            spec("P1", read("A", "x", "v"), read("B", "x", "v"),
+                 write("A", "x", "v")),
+            spec("P2", read("A", "x", "v"), read("B", "x", "v"),
+                 write("B", "x", "v")),
+        ],
+        name="write-skew",
+    )
+
+
+def protected_mix() -> ProgramSet:
+    """Every program reads an item only if it also writes it (TPC-C shape:
+    update programs are read-modify-write; readers exist but are leaves)."""
+    return ProgramSet(
+        [
+            spec("Upd1", read("A", "x", "v"), write("A", "x", "v")),
+            spec("Upd2", read("B", "x", "v"), write("B", "x", "v")),
+            spec("Report", read("A", "x", "v"), read("B", "x", "v")),
+        ],
+        name="protected",
+    )
+
+
+class TestEdges:
+    def test_write_skew_mix_edges(self):
+        sdg = build_sdg(write_skew_mix())
+        assert sdg.is_vulnerable("P1", "P2")  # P1 reads B, P2 writes B
+        assert sdg.is_vulnerable("P2", "P1")
+        assert sdg.has_edge("P1", "P1")  # rw+ww self conflicts exist
+        assert not sdg.is_vulnerable("P1", "P1")
+
+    def test_protected_mix_edges(self):
+        sdg = build_sdg(protected_mix())
+        # Report has vulnerable out-edges; updaters do not.
+        assert sdg.is_vulnerable("Report", "Upd1")
+        assert sdg.is_vulnerable("Report", "Upd2")
+        assert not sdg.is_vulnerable("Upd1", "Upd1")
+        assert sdg.edge("Upd1", "Upd2") is None  # disjoint tables
+
+    def test_missing_edge_queries(self):
+        sdg = build_sdg(protected_mix())
+        assert sdg.edge("Upd1", "Report") is not None  # wr edge
+        assert not sdg.is_vulnerable("Upd1", "Report")
+        # Read-read is no conflict: Report has no self-edge.
+        assert sdg.successors("Report") == ("Upd1", "Upd2")
+
+
+class TestDangerousStructures:
+    def test_write_skew_mix_is_dangerous(self):
+        sdg = build_sdg(write_skew_mix())
+        structures = sdg.dangerous_structures()
+        assert structures
+        assert not sdg.is_si_serializable()
+        rendered = {str(s) for s in structures}
+        assert "P1 -(v)-> P2 -(v)-> P1" in rendered
+        assert set(sdg.pivots()) == {"P1", "P2"}
+
+    def test_protected_mix_is_serializable(self):
+        sdg = build_sdg(protected_mix())
+        assert sdg.dangerous_structures() == ()
+        assert sdg.is_si_serializable()
+        assert sdg.pivots() == ()
+
+    def test_consecutive_vulnerable_edges_always_lie_on_a_cycle(self):
+        """Edge existence is symmetric (an rw P->Q is a wr Q->P), so two
+        vulnerable edges in a row always close a cycle via the back wr
+        edges — consecutiveness is the whole condition in practice."""
+        mix = ProgramSet(
+            [
+                spec("R", read("A", "x", "v")),
+                spec("M", read("A", "x", "v"), write("A", "x", "v"),
+                     read("B", "x", "v")),
+                spec("W", write("B", "x", "v")),
+            ],
+            name="chain",
+        )
+        sdg = build_sdg(mix)
+        assert sdg.is_vulnerable("R", "M")
+        assert sdg.is_vulnerable("M", "W")
+        assert sdg.has_edge("W", "M") and sdg.has_edge("M", "R")
+        assert not sdg.is_si_serializable()
+        assert "M" in sdg.pivots()
+
+    def test_nonconsecutive_vulnerable_edges_are_safe(self):
+        """Two vulnerable edges that do not share a middle node: safe."""
+        mix = ProgramSet(
+            [
+                spec("R1", read("A", "x", "v")),
+                spec("W1", read("A", "x", "v"), write("A", "x", "v")),
+                spec("R2", read("B", "x", "v")),
+                spec("W2", read("B", "x", "v"), write("B", "x", "v")),
+            ],
+            name="two-pairs",
+        )
+        sdg = build_sdg(mix)
+        assert sdg.is_vulnerable("R1", "W1")
+        assert sdg.is_vulnerable("R2", "W2")
+        assert sdg.is_si_serializable()
+
+    def test_vulnerable_self_loop_is_dangerous(self):
+        mix = ProgramSet(
+            [
+                ProgramSpec(
+                    "Swap",
+                    ("a", "b"),
+                    (read("T", "a", "v"), write("T", "b", "v")),
+                )
+            ],
+            name="self-loop",
+        )
+        sdg = build_sdg(mix)
+        assert sdg.is_vulnerable("Swap", "Swap")
+        assert not sdg.is_si_serializable()
+
+
+class TestRendering:
+    def test_describe_mentions_structures(self):
+        text = build_sdg(write_skew_mix()).describe()
+        assert "DANGEROUS STRUCTURES" in text
+        assert "P1 -(v)-> P2 -(v)-> P1" in text
+
+    def test_describe_safe_mix(self):
+        text = build_sdg(protected_mix()).describe()
+        assert "serializable" in text
+
+    def test_dot_output_conventions(self):
+        dot = build_sdg(write_skew_mix()).to_dot()
+        assert "digraph SDG" in dot
+        assert "style=dashed" in dot  # vulnerable edges
+        assert "fillcolor=lightgrey" in dot  # update programs shaded

@@ -1,0 +1,232 @@
+"""Session behaviour: blocking with real threads, deadlocks, hooks."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import Database, Session
+from repro.engine.session import NoWaitWaiter, WouldBlock
+from repro.errors import (
+    DeadlockError,
+    SerializationFailure,
+    TransactionStateError,
+)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return False
+
+
+class TestSessionBasics:
+    def test_begin_twice_rejected(self, db: Database):
+        s = Session(db)
+        s.begin()
+        with pytest.raises(TransactionStateError):
+            s.begin()
+
+    def test_statement_without_begin_rejected(self, db: Database):
+        s = Session(db)
+        with pytest.raises(TransactionStateError):
+            s.select("Saving", 1)
+
+    def test_update_returns_false_for_missing_row(self, db: Database):
+        s = Session(db)
+        s.begin()
+        assert s.update("Saving", 999, {"Balance": 1.0}) is False
+
+    def test_update_with_callable_changes(self, db: Database):
+        s = Session(db)
+        s.begin()
+        assert s.update("Saving", 1, lambda r: {"Balance": r["Balance"] * 2})
+        s.commit()
+        check = Session(db)
+        check.begin()
+        assert check.select("Saving", 1)["Balance"] == 200.0
+
+    def test_identity_update_creates_a_version_with_same_value(self, db):
+        s = Session(db)
+        s.begin("promoted")
+        assert s.identity_update("Saving", 1, "Balance")
+        assert s.transaction.needs_wal_flush
+        s.commit()
+        check = Session(db)
+        check.begin()
+        assert check.select("Saving", 1)["Balance"] == 100.0
+        chain = db.catalog.table("Saving").chain(1)
+        assert len(chain) == 2  # bootstrap + identity write
+
+    def test_rollback_without_begin_is_noop(self, db: Database):
+        Session(db).rollback()
+
+    def test_session_reusable_after_commit(self, db: Database):
+        s = Session(db)
+        s.begin()
+        s.select("Saving", 1)
+        s.commit()
+        s.begin()
+        assert s.select("Saving", 2)["Balance"] == 100.0
+        s.commit()
+
+    def test_statement_hook_counts_statements(self, db: Database):
+        counted: list[str] = []
+        s = Session(db, statement_hook=lambda kind, txn: counted.append(kind))
+        s.begin()
+        s.select("Saving", 1)
+        s.update("Checking", 1, {"Balance": 0.0})
+        s.identity_update("Saving", 1, "Balance")
+        s.commit()
+        assert counted == ["select", "update", "identity-update"]
+
+    def test_pre_commit_hook_only_for_writers(self, db: Database):
+        flushed: list[int] = []
+        s = Session(db, pre_commit_hook=lambda txn: flushed.append(txn.txid))
+        s.begin("reader")
+        s.select("Saving", 1)
+        s.commit()
+        assert flushed == []
+        s.begin("writer")
+        s.update("Saving", 1, {"Balance": 0.0})
+        s.commit()
+        assert len(flushed) == 1
+
+
+class TestThreadedBlocking:
+    def test_blocked_writer_aborts_when_holder_commits(self, db: Database):
+        holder = Session(db)
+        holder.begin("holder")
+        holder.update("Saving", 1, {"Balance": 1.0})
+
+        errors: list[Exception] = []
+        started = threading.Event()
+
+        def blocked_writer():
+            s = Session(db)
+            s.begin("waiter")
+            started.set()
+            try:
+                s.update("Saving", 1, {"Balance": 2.0})
+                s.commit()
+            except Exception as exc:  # noqa: BLE001 - recorded for assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked_writer)
+        thread.start()
+        started.wait()
+        assert wait_until(lambda: len(db.active_transactions) == 2)
+        # Give the waiter time to actually block on the lock.
+        assert wait_until(
+            lambda: any(
+                db.locks.waiting_for(t.txid) for t in db.active_transactions
+            )
+        )
+        holder.commit()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert len(errors) == 1 and isinstance(errors[0], SerializationFailure)
+
+    def test_blocked_writer_proceeds_when_holder_aborts(self, db: Database):
+        holder = Session(db)
+        holder.begin("holder")
+        holder.update("Saving", 1, {"Balance": 1.0})
+
+        done = threading.Event()
+        results: list[float] = []
+
+        def blocked_writer():
+            s = Session(db)
+            s.begin("waiter")
+            s.update("Saving", 1, {"Balance": 2.0})
+            s.commit()
+            results.append(2.0)
+            done.set()
+
+        thread = threading.Thread(target=blocked_writer)
+        thread.start()
+        assert wait_until(
+            lambda: any(
+                db.locks.waiting_for(t.txid) for t in db.active_transactions
+            )
+        )
+        holder.rollback()
+        assert done.wait(timeout=5)
+        thread.join(timeout=5)
+        check = Session(db)
+        check.begin()
+        assert check.select("Saving", 1)["Balance"] == 2.0
+
+    def test_deadlock_aborts_second_waiter(self, db: Database):
+        """Two sessions locking (1 then 2) and (2 then 1)."""
+        s1 = Session(db)
+        s1.begin("a")
+        s1.update("Saving", 1, {"Balance": 1.0})
+
+        s2 = Session(db)
+        s2.begin("b")
+        s2.update("Saving", 2, {"Balance": 2.0})
+
+        outcome: list[str] = []
+
+        def cross_writer():
+            try:
+                s1.update("Saving", 2, {"Balance": 3.0})  # blocks on s2
+                s1.commit()
+                outcome.append("s1-committed")
+            except (DeadlockError, SerializationFailure) as exc:
+                outcome.append(type(exc).__name__)
+
+        thread = threading.Thread(target=cross_writer)
+        thread.start()
+        assert wait_until(lambda: bool(db.locks.waiting_for(s1.txn.txid)))
+        # s2 closing the cycle must raise DeadlockError immediately.
+        with pytest.raises(DeadlockError):
+            s2.update("Saving", 1, {"Balance": 4.0})
+        # s2 was aborted by the deadlock; its lock release unblocks s1.
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome == ["s1-committed"]
+
+    def test_nowait_waiter_raises_would_block(self, db: Database):
+        holder = Session(db)
+        holder.begin()
+        holder.update("Saving", 1, {"Balance": 1.0})
+        probe = Session(db, waiter=NoWaitWaiter())
+        probe.begin()
+        with pytest.raises(WouldBlock) as exc_info:
+            probe.update("Saving", 1, {"Balance": 2.0})
+        assert exc_info.value.wait.blocker_ids == {holder.txn.txid}
+
+    def test_many_concurrent_increments_conserve_total(self, db: Database):
+        """8 threads x 25 increments with retry: final balance is exact."""
+        increments = 25
+        threads = 8
+
+        def worker():
+            done = 0
+            while done < increments:
+                s = Session(db)
+                s.begin("inc")
+                try:
+                    s.update(
+                        "Checking", 1, lambda r: {"Balance": r["Balance"] + 1}
+                    )
+                    s.commit()
+                    done += 1
+                except (SerializationFailure, DeadlockError):
+                    continue
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join(timeout=60)
+        check = Session(db)
+        check.begin()
+        assert check.select("Checking", 1)["Balance"] == 50.0 + threads * increments

@@ -1,0 +1,204 @@
+"""Tests for the discrete-event simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import SimDeadlock, SimEvent, Simulator
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        log: list[tuple[float, str]] = []
+        sim.schedule(2.0, lambda: log.append((sim.now, "b")))
+        sim.schedule(1.0, lambda: log.append((sim.now, "a")))
+        sim.schedule(3.0, lambda: log.append((sim.now, "c")))
+        sim.run_for(10.0)
+        assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+        assert sim.now == 10.0
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        log: list[str] = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run_for(2.0)
+        assert log == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_deadline_excludes_later_events(self):
+        sim = Simulator()
+        log: list[str] = []
+        sim.schedule(5.0, lambda: log.append("late"))
+        sim.run_for(3.0)
+        assert log == []
+        sim.run_for(3.0)
+        assert log == ["late"]
+
+
+class TestProcesses:
+    def test_process_sleep_advances_with_clock(self):
+        sim = Simulator()
+        trace: list[float] = []
+
+        def proc():
+            trace.append(sim.now)
+            sim.sleep(1.5)
+            trace.append(sim.now)
+            sim.sleep(0.5)
+            trace.append(sim.now)
+
+        sim.spawn(proc)
+        sim.run_for(10.0)
+        sim.shutdown()
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        trace: list[str] = []
+
+        def make(name: str, period: float):
+            def proc():
+                for _ in range(3):
+                    sim.sleep(period)
+                    trace.append(f"{name}@{sim.now}")
+
+            return proc
+
+        sim.spawn(make("a", 1.0))
+        sim.spawn(make("b", 1.5))
+        sim.run_for(10.0)
+        sim.shutdown()
+        # At t=3.0 both wake; b's wake event was scheduled earlier
+        # (at t=1.5 vs t=2.0), so the (time, sequence) order runs b first.
+        assert trace == [
+            "a@1.0", "b@1.5", "a@2.0", "b@3.0", "a@3.0", "b@4.5",
+        ]
+
+    def test_infinite_process_stopped_by_shutdown(self):
+        sim = Simulator()
+        counter = [0]
+
+        def forever():
+            while True:
+                sim.checkpoint()
+                sim.sleep(0.1)
+                counter[0] += 1
+
+        sim.spawn(forever)
+        sim.run_for(1.05)
+        sim.shutdown()
+        assert counter[0] == 10
+
+    def test_spawn_during_run(self):
+        sim = Simulator()
+        trace: list[float] = []
+
+        def child():
+            trace.append(sim.now)
+
+        def parent():
+            sim.sleep(2.0)
+            sim.spawn(child, name="child")
+
+        sim.spawn(parent, name="parent")
+        sim.run_for(5.0)
+        sim.shutdown()
+        assert trace == [2.0]
+
+    def test_primitive_outside_process_rejected(self):
+        sim = Simulator()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            sim.sleep(1.0)
+
+
+class TestEvents:
+    def test_event_wakes_waiter(self):
+        sim = Simulator()
+        trace: list[str] = []
+        event = SimEvent(sim)
+
+        def waiter():
+            event.wait()
+            trace.append(f"woke@{sim.now}")
+
+        def firer():
+            sim.sleep(3.0)
+            event.fire()
+
+        sim.spawn(waiter)
+        sim.spawn(firer)
+        sim.run_for(10.0)
+        sim.shutdown()
+        assert trace == ["woke@3.0"]
+
+    def test_fired_event_does_not_block(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        event.fire()
+        trace: list[float] = []
+
+        def proc():
+            event.wait()
+            trace.append(sim.now)
+
+        sim.spawn(proc)
+        sim.run_for(1.0)
+        sim.shutdown()
+        assert trace == [0.0]
+
+    def test_fire_is_idempotent(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        woken = [0]
+
+        def waiter():
+            event.wait()
+            woken[0] += 1
+
+        sim.spawn(waiter)
+        sim.schedule(1.0, event.fire)
+        sim.schedule(1.0, event.fire)
+        sim.run_for(5.0)
+        sim.shutdown()
+        assert woken[0] == 1
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        woken: list[str] = []
+
+        def waiter(name: str):
+            def proc():
+                event.wait()
+                woken.append(name)
+
+            return proc
+
+        for name in ("x", "y", "z"):
+            sim.spawn(waiter(name), name=name)
+        sim.schedule(2.0, event.fire)
+        sim.run_for(5.0)
+        sim.shutdown()
+        assert woken == ["x", "y", "z"]
+
+
+class TestDeadlockDetection:
+    def test_wedged_simulation_raises(self):
+        sim = Simulator()
+        event = SimEvent(sim)  # never fired
+
+        def stuck():
+            event.wait()
+
+        sim.spawn(stuck)
+        with pytest.raises(SimDeadlock):
+            sim.run_for(1.0)
+        sim.shutdown()

@@ -1,0 +1,171 @@
+"""Tests for simulated resources: FIFO servers and group-commit log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import GroupCommitLog, Resource
+
+
+class TestResource:
+    def test_single_server_serializes_users(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=1)
+        trace: list[tuple[str, float]] = []
+
+        def user(name: str):
+            def proc():
+                cpu.use(1.0)
+                trace.append((name, sim.now))
+
+            return proc
+
+        sim.spawn(user("a"))
+        sim.spawn(user("b"))
+        sim.spawn(user("c"))
+        sim.run_for(10.0)
+        sim.shutdown()
+        assert trace == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_two_servers_run_in_parallel(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=2)
+        done: list[float] = []
+
+        def user():
+            cpu.use(1.0)
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(user)
+        sim.run_for(10.0)
+        sim.shutdown()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=1)
+        order: list[str] = []
+
+        def user(name: str, arrive: float):
+            def proc():
+                sim.sleep(arrive)
+                cpu.use(2.0)
+                order.append(name)
+
+            return proc
+
+        sim.spawn(user("late", 1.0))
+        sim.spawn(user("early", 0.5))
+        sim.spawn(user("first", 0.0))
+        sim.run_for(20.0)
+        sim.shutdown()
+        assert order == ["first", "early", "late"]
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=1)
+
+        def user():
+            cpu.use(2.0)
+
+        sim.spawn(user)
+        sim.run_for(4.0)
+        sim.shutdown()
+        assert cpu.utilization() == pytest.approx(0.5)
+
+    def test_invalid_capacity_and_release(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+        cpu = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            cpu.release()
+
+
+class TestGroupCommitLog:
+    def test_single_commit_waits_delay_plus_flush(self):
+        sim = Simulator()
+        wal = GroupCommitLog(sim, flush_time=0.010, commit_delay=0.002)
+        done: list[float] = []
+
+        def committer():
+            wal.commit_flush()
+            done.append(sim.now)
+
+        sim.spawn(committer)
+        sim.run_for(1.0)
+        sim.shutdown()
+        assert done == [pytest.approx(0.012)]
+        assert wal.flush_count == 1
+
+    def test_commits_within_window_share_a_flush(self):
+        sim = Simulator()
+        wal = GroupCommitLog(sim, flush_time=0.010, commit_delay=0.002)
+        done: list[float] = []
+
+        def committer(offset: float):
+            def proc():
+                sim.sleep(offset)
+                wal.commit_flush()
+                done.append(sim.now)
+
+            return proc
+
+        sim.spawn(committer(0.0))
+        sim.spawn(committer(0.001))  # arrives inside the gather window
+        sim.run_for(1.0)
+        sim.shutdown()
+        assert done == [pytest.approx(0.012)] * 2
+        assert wal.flush_count == 1
+        assert wal.mean_batch_size == 2.0
+
+    def test_commit_during_flush_rides_the_next_one(self):
+        sim = Simulator()
+        wal = GroupCommitLog(sim, flush_time=0.010, commit_delay=0.002)
+        done: list[tuple[str, float]] = []
+
+        def committer(name: str, offset: float):
+            def proc():
+                sim.sleep(offset)
+                wal.commit_flush()
+                done.append((name, sim.now))
+
+            return proc
+
+        sim.spawn(committer("first", 0.0))
+        sim.spawn(committer("second", 0.005))  # mid-flush of the first
+        sim.run_for(1.0)
+        sim.shutdown()
+        assert done[0] == ("first", pytest.approx(0.012))
+        # The second flush starts immediately when the first ends (0.012)
+        # and takes another 10 ms.
+        assert done[1] == ("second", pytest.approx(0.022))
+        assert wal.flush_count == 2
+
+    def test_back_to_back_batches_under_load(self):
+        sim = Simulator()
+        wal = GroupCommitLog(sim, flush_time=0.010, commit_delay=0.002)
+        completions = [0]
+
+        def committer():
+            while True:
+                sim.checkpoint()
+                wal.commit_flush()
+                completions[0] += 1
+
+        for _ in range(8):
+            sim.spawn(committer)
+        sim.run_for(1.0)
+        sim.shutdown()
+        # Closed-loop committers re-request only after waking, so each
+        # cycle is gather-window + flush = 12 ms with all 8 on board.
+        assert wal.flush_count == pytest.approx(83, abs=3)
+        assert completions[0] == pytest.approx(664, abs=30)
+        assert wal.mean_batch_size == pytest.approx(8.0, abs=0.5)
+
+    def test_invalid_flush_time(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            GroupCommitLog(sim, flush_time=0.0)

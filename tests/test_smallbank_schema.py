@@ -1,0 +1,89 @@
+"""Schema/population tests for SmallBank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineConfig, Session
+from repro.smallbank import (
+    ACCOUNT,
+    CHECKING,
+    CONFLICT,
+    SAVING,
+    PopulationConfig,
+    build_database,
+    customer_name,
+    smallbank_schemas,
+    total_money,
+)
+
+
+class TestSchemas:
+    def test_four_tables(self):
+        names = {schema.name for schema in smallbank_schemas()}
+        assert names == {ACCOUNT, SAVING, CHECKING, CONFLICT}
+
+    def test_account_unique_customer_id(self):
+        account = next(s for s in smallbank_schemas() if s.name == ACCOUNT)
+        assert account.primary_key == "Name"
+        assert account.unique == ("CustomerId",)
+
+
+class TestPopulation:
+    def test_population_is_deterministic(self):
+        a = build_database(population=PopulationConfig(customers=10))
+        b = build_database(population=PopulationConfig(customers=10))
+        assert total_money(a) == total_money(b)
+
+    def test_every_customer_has_all_rows(self):
+        db = build_database(population=PopulationConfig(customers=5))
+        session = Session(db)
+        session.begin()
+        for cid in range(1, 6):
+            account = session.select(ACCOUNT, customer_name(cid))
+            assert account is not None and account["CustomerId"] == cid
+            assert session.select(SAVING, cid) is not None
+            assert session.select(CHECKING, cid) is not None
+            conflict = session.select(CONFLICT, cid)
+            assert conflict is not None and conflict["Value"] == 0
+        session.commit()
+
+    def test_balances_within_configured_ranges(self):
+        population = PopulationConfig(
+            customers=20,
+            min_saving=10.0,
+            max_saving=20.0,
+            min_checking=1.0,
+            max_checking=2.0,
+        )
+        db = build_database(population=population)
+        session = Session(db)
+        session.begin()
+        for cid in range(1, 21):
+            saving = session.select(SAVING, cid)["Balance"]
+            checking = session.select(CHECKING, cid)["Balance"]
+            assert 10.0 <= saving <= 20.0
+            assert 1.0 <= checking <= 2.0
+        session.commit()
+
+    def test_lookup_by_customer_id(self):
+        db = build_database(population=PopulationConfig(customers=3))
+        session = Session(db)
+        session.begin()
+        found = session.lookup_unique(ACCOUNT, "CustomerId", 2)
+        assert found is not None and found[0] == customer_name(2)
+
+    def test_engine_config_passthrough(self):
+        db = build_database(EngineConfig.commercial())
+        assert db.config == EngineConfig.commercial()
+
+    def test_total_money_sums_both_tables(self):
+        population = PopulationConfig(
+            customers=2,
+            min_saving=100.0,
+            max_saving=100.0,
+            min_checking=10.0,
+            max_checking=10.0,
+        )
+        db = build_database(population=population)
+        assert total_money(db) == pytest.approx(220.0)

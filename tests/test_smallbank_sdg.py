@@ -1,0 +1,239 @@
+"""SmallBank SDG analysis — asserts the paper's Figures 1, 2, 3 and Table I.
+
+Everything checked here is *derived* by the generic analysis in
+:mod:`repro.core` from the program specs; nothing is hard-coded, so these
+tests pin the reproduction to the paper's published analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_sdg
+from repro.smallbank import (
+    ALL_STRATEGIES,
+    CHECKING,
+    CONFLICT,
+    SAVING,
+    get_strategy,
+    smallbank_specs,
+)
+
+BAL = "Balance"
+DC = "DepositChecking"
+TS = "TransactSaving"
+AMG = "Amalgamate"
+WC = "WriteCheck"
+
+
+@pytest.fixture(scope="module")
+def sdg():
+    return build_sdg(smallbank_specs())
+
+
+class TestFigure1:
+    """Section III-C: the SDG for the (unmodified) SmallBank benchmark."""
+
+    def test_balance_is_the_only_read_only_program(self):
+        specs = smallbank_specs()
+        assert specs[BAL].is_read_only
+        for name in (DC, TS, AMG, WC):
+            assert specs[name].is_update_program
+
+    def test_vulnerable_edges_exactly_match_figure_1(self, sdg):
+        assert sdg.vulnerable_edges() == (
+            (BAL, AMG),
+            (BAL, DC),
+            (BAL, TS),
+            (BAL, WC),
+            (WC, TS),
+        )
+
+    def test_wc_to_amg_is_protected_by_the_checking_write(self, sdg):
+        """'whenever Amg writes a row in Saving it also writes the
+        corresponding row in Checking' — the subtle case of the analysis."""
+        edge = sdg.edge(WC, AMG)
+        assert edge is not None and edge.exists
+        assert not edge.vulnerable
+
+    def test_read_modify_write_programs_have_no_vulnerable_out_edges(
+        self, sdg
+    ):
+        """'TS, Amg and DC all read an item only if they will then modify
+        it; from such a program, any read-write conflict is also a
+        write-write conflict and thus not vulnerable.'"""
+        for source in (TS, AMG, DC):
+            for target in sdg.nodes:
+                assert not sdg.is_vulnerable(source, target), (source, target)
+
+    def test_unique_dangerous_structure_is_bal_wc_ts(self, sdg):
+        structures = sdg.dangerous_structures()
+        assert [str(s) for s in structures] == [
+            "Balance -(v)-> WriteCheck -(v)-> TransactSaving"
+        ]
+        assert sdg.pivots() == (WC,)
+        assert not sdg.is_si_serializable()
+
+
+class TestFigure2:
+    """Option WT: only the WriteCheck -> TransactSaving edge changes."""
+
+    @pytest.mark.parametrize(
+        "key", ["materialize-wt", "promote-wt-upd", "promote-wt-sfu"]
+    )
+    def test_wt_edge_no_longer_vulnerable(self, key):
+        fixed = build_sdg(get_strategy(key).specs(), sfu_is_write=True)
+        assert not fixed.is_vulnerable(WC, TS)
+        assert fixed.is_si_serializable()
+
+    @pytest.mark.parametrize(
+        "key", ["materialize-wt", "promote-wt-upd", "promote-wt-sfu"]
+    )
+    def test_balance_outgoing_edges_unchanged(self, key):
+        fixed = build_sdg(get_strategy(key).specs(), sfu_is_write=True)
+        for target in (AMG, DC, TS, WC):
+            assert fixed.is_vulnerable(BAL, target)
+
+    def test_balance_stays_read_only_under_wt(self):
+        for key in ("materialize-wt", "promote-wt-upd", "promote-wt-sfu"):
+            specs = get_strategy(key).specs()
+            # The WT options never touch Balance -- the performance
+            # argument of Section IV-D.
+            assert specs[BAL].accesses == smallbank_specs()[BAL].accesses
+
+
+class TestFigure3:
+    """Option BW: the Balance -> WriteCheck edge changes (and Balance
+    becomes an updater)."""
+
+    @pytest.mark.parametrize(
+        "key", ["materialize-bw", "promote-bw-upd", "promote-bw-sfu"]
+    )
+    def test_bw_edge_no_longer_vulnerable(self, key):
+        fixed = build_sdg(get_strategy(key).specs(), sfu_is_write=True)
+        assert not fixed.is_vulnerable(BAL, WC)
+        assert fixed.is_si_serializable()
+
+    def test_wc_ts_edge_remains_vulnerable_under_bw(self):
+        """BW works because TS is not the source of any vulnerable edge —
+        the remaining vulnerable WC->TS edge has no vulnerable successor."""
+        fixed = build_sdg(get_strategy("materialize-bw").specs())
+        assert fixed.is_vulnerable(WC, TS)
+        assert fixed.is_si_serializable()
+
+    def test_balance_becomes_an_updater(self):
+        for key in ("materialize-bw", "promote-bw-upd"):
+            assert get_strategy(key).specs()[BAL].is_update_program
+
+    def test_promote_bw_creates_contention_with_dc_and_amg(self):
+        """Figure 3(b): the promoted Balance writes Checking, so its edges
+        to DepositChecking and Amalgamate change — the cause of the extra
+        aborts in Figure 6."""
+        fixed = build_sdg(get_strategy("promote-bw-upd").specs())
+        for target in (DC, AMG):
+            edge = fixed.edge(BAL, target)
+            assert edge is not None
+            assert "ww" in edge.conflict_kinds
+
+    def test_materialize_bw_does_not_touch_checking(self):
+        specs = get_strategy("materialize-bw").specs()
+        assert CHECKING not in specs[BAL].tables_written()
+        assert CONFLICT in specs[BAL].tables_written()
+
+
+class TestSfuSemanticsSplit:
+    """SFU promotions fix commercial platforms only (Section II-C)."""
+
+    @pytest.mark.parametrize("key", ["promote-wt-sfu", "promote-bw-sfu"])
+    def test_sfu_vulnerable_again_under_postgres_semantics(self, key):
+        strategy = get_strategy(key)
+        assert strategy.serializable_on_commercial
+        assert not strategy.serializable_on_postgres
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "materialize-wt",
+            "promote-wt-upd",
+            "materialize-bw",
+            "promote-bw-upd",
+            "materialize-all",
+            "promote-all",
+        ],
+    )
+    def test_non_sfu_strategies_fix_both_platforms(self, key):
+        strategy = get_strategy(key)
+        assert strategy.serializable_on_postgres
+        assert strategy.serializable_on_commercial
+
+
+class TestAllVariants:
+    def test_materialize_all_leaves_no_vulnerable_edges(self):
+        sdg = build_sdg(get_strategy("materialize-all").specs())
+        assert sdg.vulnerable_edges() == ()
+
+    def test_promote_all_leaves_no_vulnerable_edges(self):
+        sdg = build_sdg(get_strategy("promote-all").specs())
+        assert sdg.vulnerable_edges() == ()
+
+    def test_promote_all_adds_two_writes_to_balance_one_to_wc(self):
+        """'we simply add two writes to Balance, and one to WriteCheck,
+        without changing the other programs' (Section IV-A)."""
+        row = get_strategy("promote-all").table_one_row()
+        assert row == {
+            BAL: (CHECKING, SAVING),
+            WC: (SAVING,),
+        }
+
+    def test_materialize_all_touches_every_program(self):
+        row = get_strategy("materialize-all").table_one_row()
+        assert set(row) == {BAL, DC, TS, AMG, WC}
+        assert all(tables == (CONFLICT,) for tables in row.values())
+
+    def test_materialize_all_amalgamate_updates_two_conflict_rows(self):
+        """'transaction Amg must update two rows in Conflict, one for each
+        parameter' (Section III-D(c))."""
+        mods = get_strategy("materialize-all").modifications()
+        amg_keys = {m.key for m in mods if m.program == AMG}
+        assert amg_keys == {"x1", "x2"}
+
+
+class TestTableOne:
+    """Table I: overview of tables updated with each option."""
+
+    EXPECTED = {
+        "base-si": {},
+        "materialize-wt": {WC: (CONFLICT,), TS: (CONFLICT,)},
+        "promote-wt-upd": {WC: (SAVING,)},
+        "promote-wt-sfu": {WC: (SAVING,)},
+        "materialize-bw": {BAL: (CONFLICT,), WC: (CONFLICT,)},
+        "promote-bw-upd": {BAL: (CHECKING,)},
+        "promote-bw-sfu": {BAL: (CHECKING,)},
+        "materialize-all": {
+            BAL: (CONFLICT,),
+            DC: (CONFLICT,),
+            TS: (CONFLICT,),
+            AMG: (CONFLICT,),
+            WC: (CONFLICT,),
+        },
+        "promote-all": {BAL: (CHECKING, SAVING), WC: (SAVING,)},
+    }
+
+    @pytest.mark.parametrize("key", sorted(EXPECTED))
+    def test_table_one_row(self, key):
+        assert get_strategy(key).table_one_row() == self.EXPECTED[key]
+
+    def test_only_wt_options_keep_balance_read_only(self):
+        """'except for Option WT, all options introduce updates into the
+        originally read-only Balance transaction' (Section III-E)."""
+        for strategy in ALL_STRATEGIES:
+            bal_modified = BAL in strategy.table_one_row()
+            if strategy.key in (
+                "base-si",
+                "materialize-wt",
+                "promote-wt-upd",
+                "promote-wt-sfu",
+            ):
+                assert not bal_modified, strategy.key
+            else:
+                assert bal_modified, strategy.key

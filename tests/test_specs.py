@@ -1,0 +1,111 @@
+"""Tests for symbolic program specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Access,
+    AccessKind,
+    ProgramSet,
+    ProgramSpec,
+    cc_write,
+    read,
+    write,
+    write_const,
+)
+from repro.errors import SpecError
+
+
+def simple_program(name: str = "P") -> ProgramSpec:
+    return ProgramSpec(
+        name,
+        ("x",),
+        (read("T", "x", "v"), write("U", "x", "v")),
+    )
+
+
+class TestAccess:
+    def test_requires_exactly_one_key(self):
+        with pytest.raises(SpecError):
+            Access(AccessKind.READ, "T")
+        with pytest.raises(SpecError):
+            Access(AccessKind.READ, "T", key_param="x", key_const="c")
+
+    def test_shorthands(self):
+        r = read("T", "x", "a", "b")
+        assert r.kind is AccessKind.READ
+        assert r.columns == frozenset({"a", "b"})
+        w = write_const("T", "row0", "v")
+        assert w.key_const == "row0" and w.key_param is None
+        c = cc_write("T", "x")
+        assert c.kind.is_writeish
+        assert not read("T", "x").kind.is_writeish
+
+    def test_str_rendering(self):
+        assert str(read("T", "x")) == "r(T[x])"
+        assert str(write_const("T", "row0")) == "w(T[#row0])"
+
+
+class TestProgramSpec:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(SpecError):
+            ProgramSpec("P", ("x",), (read("T", "y"),))
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(SpecError):
+            ProgramSpec("P", ("x", "x"), ())
+
+    def test_read_only_classification(self):
+        reader = ProgramSpec("R", ("x",), (read("T", "x"),))
+        assert reader.is_read_only and not reader.is_update_program
+        writer = simple_program()
+        assert writer.is_update_program and not writer.is_read_only
+
+    def test_cc_write_does_not_make_program_an_updater(self):
+        sfu_only = ProgramSpec("S", ("x",), (cc_write("T", "x"),))
+        assert sfu_only.is_read_only
+        assert sfu_only.writeish() == sfu_only.accesses
+
+    def test_with_access_dedupes(self):
+        program = simple_program()
+        extra = write("T", "x", "v")
+        once = program.with_access(extra)
+        twice = once.with_access(extra)
+        assert once.accesses == twice.accesses
+        assert len(once.accesses) == 3
+
+    def test_replace_access(self):
+        program = simple_program()
+        old = program.accesses[0]
+        new = cc_write("T", "x", "v")
+        replaced = program.replace_access(old, new)
+        assert new in replaced.accesses and old not in replaced.accesses
+        with pytest.raises(SpecError):
+            program.replace_access(new, old)
+
+    def test_tables_written(self):
+        assert simple_program().tables_written() == frozenset({"U"})
+
+
+class TestProgramSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecError):
+            ProgramSet([simple_program(), simple_program()])
+
+    def test_lookup_and_iteration(self):
+        mix = ProgramSet([simple_program("A"), simple_program("B")])
+        assert mix.names == ("A", "B")
+        assert mix["A"].name == "A"
+        assert "B" in mix and "C" not in mix
+        assert len(list(mix)) == 2
+        with pytest.raises(SpecError):
+            mix["C"]
+
+    def test_replace_returns_new_set(self):
+        mix = ProgramSet([simple_program("A")])
+        changed = mix.replace(mix["A"].with_access(write("W", "x")))
+        assert "W" in changed["A"].tables_written()
+        assert "W" not in mix["A"].tables_written()
+        with pytest.raises(SpecError):
+            mix.replace(simple_program("nope"))

@@ -1,0 +1,197 @@
+"""Executor tests: statements running against the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, Session
+from repro.errors import SqlError
+from repro.sqlmini import PreparedStatement, execute_sql
+
+
+@pytest.fixture
+def session(db: Database) -> Session:
+    s = Session(db)
+    s.begin("test")
+    return s
+
+
+class TestSelect:
+    def test_select_by_primary_key(self, session: Session):
+        result = execute_sql(
+            session, "SELECT Balance FROM Saving WHERE CustomerId = 1"
+        )
+        assert result.rowcount == 1
+        assert result.first == {"Balance": 100.0}
+
+    def test_select_star_projects_all_columns(self, session: Session):
+        result = execute_sql(
+            session, "SELECT * FROM Saving WHERE CustomerId = 2"
+        )
+        assert result.first == {"CustomerId": 2, "Balance": 100.0}
+
+    def test_select_into_binds_params(self, session: Session):
+        params = {"N": "cust2"}
+        execute_sql(
+            session,
+            "SELECT CustomerId INTO :x FROM Account WHERE Name = :N",
+            params,
+        )
+        assert params["x"] == 2
+
+    def test_select_into_missing_row_binds_none(self, session: Session):
+        params = {"N": "nobody"}
+        result = execute_sql(
+            session,
+            "SELECT CustomerId INTO :x FROM Account WHERE Name = :N",
+            params,
+        )
+        assert result.rowcount == 0
+        assert params["x"] is None
+
+    def test_select_by_unique_column_uses_index(self, session: Session):
+        params = {"c": 3}
+        result = execute_sql(
+            session,
+            "SELECT Name FROM Account WHERE CustomerId = :c",
+            params,
+        )
+        assert result.first == {"Name": "cust3"}
+
+    def test_select_scan_with_predicate(self, session: Session):
+        session.update("Saving", 2, {"Balance": 5.0})
+        result = execute_sql(
+            session, "SELECT CustomerId FROM Saving WHERE Balance < 50"
+        )
+        assert [r["CustomerId"] for r in result.rows] == [2]
+
+    def test_residual_conjunct_filters_key_lookup(self, session: Session):
+        result = execute_sql(
+            session,
+            "SELECT Balance FROM Saving WHERE CustomerId = 1 AND Balance > 500",
+        )
+        assert result.rowcount == 0
+
+    def test_select_for_update_takes_lock(self, session: Session):
+        execute_sql(
+            session,
+            "SELECT Balance FROM Saving WHERE CustomerId = 1 FOR UPDATE",
+        )
+        txn = session.transaction
+        assert ("Saving", 1) in txn.sfu_rows
+
+    def test_unbound_parameter_rejected(self, session: Session):
+        with pytest.raises(SqlError):
+            execute_sql(
+                session, "SELECT Balance FROM Saving WHERE CustomerId = :x"
+            )
+
+
+class TestUpdate:
+    def test_update_by_primary_key(self, session: Session):
+        params = {"x": 1, "V": 25}
+        result = execute_sql(
+            session,
+            "UPDATE Checking SET Balance = Balance + :V WHERE CustomerId = :x",
+            params,
+        )
+        assert result.rowcount == 1
+        check = execute_sql(
+            session, "SELECT Balance FROM Checking WHERE CustomerId = 1"
+        )
+        assert check.first == {"Balance": 75.0}
+
+    def test_update_missing_row_touches_nothing(self, session: Session):
+        result = execute_sql(
+            session,
+            "UPDATE Checking SET Balance = 0 WHERE CustomerId = 404",
+        )
+        assert result.rowcount == 0
+        assert not session.transaction.writes
+
+    def test_update_by_predicate_scan(self, session: Session):
+        result = execute_sql(
+            session, "UPDATE Saving SET Balance = Balance * 2 WHERE Balance >= 100"
+        )
+        assert result.rowcount == 3
+        check = execute_sql(session, "SELECT Balance FROM Saving WHERE CustomerId = 3")
+        assert check.first == {"Balance": 200.0}
+
+    def test_identity_update_kind_tagged(self, db: Database):
+        kinds: list[str] = []
+        session = Session(db, statement_hook=lambda kind, txn: kinds.append(kind))
+        session.begin()
+        stmt = PreparedStatement(
+            "UPDATE Saving SET Balance = Balance WHERE CustomerId = 1"
+        )
+        assert stmt.kind == "identity-update"
+        stmt.execute(session, {})
+        assert kinds == ["identity-update"]
+
+    def test_kind_override_for_materialized_conflict(self, db: Database):
+        kinds: list[str] = []
+        session = Session(db, statement_hook=lambda kind, txn: kinds.append(kind))
+        session.begin()
+        stmt = PreparedStatement(
+            "UPDATE Saving SET Balance = Balance + 1 WHERE CustomerId = 1",
+            kind="materialize-update",
+        )
+        stmt.execute(session, {})
+        assert kinds == ["materialize-update"]
+
+    def test_overdraft_penalty_expression(self, session: Session):
+        params = {"x": 1, "V": 100}
+        execute_sql(
+            session,
+            "UPDATE Checking SET Balance = Balance - (:V + 1) WHERE CustomerId = :x",
+            params,
+        )
+        check = execute_sql(
+            session, "SELECT Balance FROM Checking WHERE CustomerId = 1"
+        )
+        assert check.first == {"Balance": 50.0 - 101}
+
+
+class TestInsertDelete:
+    def test_insert_and_delete(self, session: Session):
+        execute_sql(
+            session,
+            "INSERT INTO Account (Name, CustomerId) VALUES ('zoe', 99)",
+        )
+        found = execute_sql(
+            session, "SELECT CustomerId FROM Account WHERE Name = 'zoe'"
+        )
+        assert found.first == {"CustomerId": 99}
+        deleted = execute_sql(
+            session, "DELETE FROM Account WHERE Name = 'zoe'"
+        )
+        assert deleted.rowcount == 1
+        gone = execute_sql(
+            session, "SELECT CustomerId FROM Account WHERE Name = 'zoe'"
+        )
+        assert gone.rowcount == 0
+
+
+class TestPreparedStatements:
+    def test_prepared_statement_reuse(self, db: Database):
+        stmt = PreparedStatement(
+            "UPDATE Saving SET Balance = Balance + :v WHERE CustomerId = :x"
+        )
+        for cid in (1, 2, 3):
+            session = Session(db)
+            session.begin()
+            stmt.execute(session, {"x": cid, "v": cid * 10})
+            session.commit()
+        session = Session(db)
+        session.begin()
+        result = execute_sql(
+            session, "SELECT Balance FROM Saving WHERE CustomerId = 3"
+        )
+        assert result.first == {"Balance": 130.0}
+
+    def test_statement_str_is_valid_sql(self):
+        stmt = PreparedStatement(
+            "SELECT Balance INTO :b FROM Saving WHERE CustomerId = :x FOR UPDATE"
+        )
+        reparsed = PreparedStatement(str(stmt))
+        assert str(reparsed) == str(stmt)

@@ -1,0 +1,182 @@
+"""Parser tests for the mini SQL dialect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sqlmini import (
+    BinOp,
+    ColumnRef,
+    Delete,
+    Insert,
+    Literal,
+    Param,
+    Select,
+    UnaryOp,
+    Update,
+    parse,
+    parse_script,
+)
+
+
+class TestSelect:
+    def test_paper_select_into(self):
+        stmt = parse("SELECT CustomerId INTO :x FROM Account WHERE Name = :N")
+        assert isinstance(stmt, Select)
+        assert stmt.table == "Account"
+        assert stmt.columns == ("CustomerId",)
+        assert stmt.into == ("x",)
+        assert stmt.where == BinOp("=", ColumnRef("Name"), Param("N"))
+        assert not stmt.for_update
+
+    def test_select_for_update(self):
+        stmt = parse(
+            "SELECT Balance INTO :b FROM Saving WHERE CustomerId = :x FOR UPDATE"
+        )
+        assert isinstance(stmt, Select)
+        assert stmt.for_update
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM Saving")
+        assert stmt.columns == ("*",)
+        assert stmt.where is None
+
+    def test_select_multiple_columns_into(self):
+        stmt = parse(
+            "SELECT Name, CustomerId INTO :n, :c FROM Account WHERE Name = 'x'"
+        )
+        assert stmt.columns == ("Name", "CustomerId")
+        assert stmt.into == ("n", "c")
+
+    def test_into_count_mismatch_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a, b INTO :x FROM t")
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse("select Balance from Saving where CustomerId = 1")
+        assert isinstance(stmt, Select)
+        assert stmt.table == "Saving"
+
+
+class TestUpdate:
+    def test_paper_conflict_update(self):
+        stmt = parse("UPDATE Conflict SET Value = Value + 1 WHERE Id = :x")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments == (
+            ("Value", BinOp("+", ColumnRef("Value"), Literal(1))),
+        )
+        assert not stmt.is_identity
+
+    def test_identity_update_detected(self):
+        stmt = parse("UPDATE Saving SET Balance = Balance WHERE CustomerId = :x")
+        assert isinstance(stmt, Update)
+        assert stmt.is_identity
+
+    def test_overdraft_penalty_expression(self):
+        stmt = parse(
+            "UPDATE Checking SET Balance = Balance - (:V + 1) "
+            "WHERE CustomerId = :x"
+        )
+        assert isinstance(stmt, Update)
+        (column, expr), = stmt.assignments
+        assert column == "Balance"
+        assert expr == BinOp(
+            "-", ColumnRef("Balance"), BinOp("+", Param("V"), Literal(1))
+        )
+
+    def test_multiple_assignments(self):
+        stmt = parse("UPDATE t SET a = 1, b = 2")
+        assert len(stmt.assignments) == 2
+
+
+class TestInsertDelete:
+    def test_insert(self):
+        stmt = parse("INSERT INTO Account (Name, CustomerId) VALUES (:n, :c)")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ("Name", "CustomerId")
+        assert stmt.values == (Param("n"), Param("c"))
+
+    def test_insert_count_mismatch(self):
+        with pytest.raises(SqlError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM Account WHERE Name = 'bob'")
+        assert isinstance(stmt, Delete)
+        assert stmt.where == BinOp("=", ColumnRef("Name"), Literal("bob"))
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 + 2 * 3")
+        comparison = stmt.where
+        assert comparison.right == BinOp(
+            "+", Literal(1), BinOp("*", Literal(2), Literal(3))
+        )
+
+    def test_parentheses_override_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE x = (1 + 2) * 3")
+        assert stmt.where.right == BinOp(
+            "*", BinOp("+", Literal(1), Literal(2)), Literal(3)
+        )
+
+    def test_and_or_not(self):
+        stmt = parse("SELECT a FROM t WHERE NOT x = 1 AND y = 2 OR z = 3")
+        assert isinstance(stmt.where, BinOp) and stmt.where.op == "OR"
+        assert stmt.where.left.op == "AND"
+        assert isinstance(stmt.where.left.left, UnaryOp)
+
+    def test_unary_minus(self):
+        stmt = parse("SELECT a FROM t WHERE x = -5")
+        assert stmt.where.right == UnaryOp("-", Literal(5))
+
+    def test_string_literal_with_escaped_quote(self):
+        stmt = parse("SELECT a FROM t WHERE n = 'O''Neil'")
+        assert stmt.where.right == Literal("O'Neil")
+
+    def test_float_literal(self):
+        stmt = parse("SELECT a FROM t WHERE x >= 1.5")
+        assert stmt.where == BinOp(">=", ColumnRef("x"), Literal(1.5))
+
+    def test_not_equals_both_spellings(self):
+        a = parse("SELECT a FROM t WHERE x != 1")
+        b = parse("SELECT a FROM t WHERE x <> 1")
+        assert a.where == b.where
+
+
+class TestScriptsAndErrors:
+    def test_parse_script_splits_statements(self):
+        script = """
+            SELECT a FROM t WHERE x = 1;
+            UPDATE t SET a = 2 WHERE x = 1;
+        """
+        statements = parse_script(script)
+        assert len(statements) == 2
+        assert isinstance(statements[0], Select)
+        assert isinstance(statements[1], Update)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE x = 1 bogus")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(SqlError):
+            parse("DROP TABLE t")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE x = @nope")
+
+    def test_unterminated_expression_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t WHERE x =")
+
+    def test_roundtrip_str_reparses(self):
+        for sql in [
+            "SELECT Balance INTO :b FROM Saving WHERE CustomerId = :x FOR UPDATE",
+            "UPDATE Conflict SET Value = Value + 1 WHERE Id = :x",
+            "INSERT INTO Account (Name, CustomerId) VALUES (:n, 7)",
+            "DELETE FROM Account WHERE Name = 'bob'",
+        ]:
+            assert parse(str(parse(sql))) == parse(sql)

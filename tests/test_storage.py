@@ -1,0 +1,166 @@
+"""Tests for schemas, tables, indexes and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, TableSchema
+from repro.engine.storage import Catalog, Table
+from repro.engine.versions import Version, freeze_row
+from repro.errors import IntegrityError, SchemaError
+
+
+def account_schema() -> TableSchema:
+    return TableSchema(
+        name="Account",
+        columns=(Column("Name", "text"), Column("CustomerId", "int")),
+        primary_key="Name",
+        unique=("CustomerId",),
+    )
+
+
+class TestSchema:
+    def test_unknown_column_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "blob")
+
+    def test_primary_key_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", (Column("a", "int"),), primary_key="b")
+
+    def test_unique_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "T", (Column("a", "int"),), primary_key="a", unique=("zz",)
+            )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "T",
+                (Column("a", "int"), Column("a", "text")),
+                primary_key="a",
+            )
+
+    def test_validate_row_type_checks(self):
+        schema = account_schema()
+        with pytest.raises(IntegrityError):
+            schema.validate_row({"Name": "x", "CustomerId": "not-an-int"})
+        with pytest.raises(IntegrityError):
+            schema.validate_row({"Name": "x"})  # missing column
+        with pytest.raises(SchemaError):
+            schema.validate_row({"Name": "x", "CustomerId": 1, "Extra": 0})
+
+    def test_bool_is_not_an_int(self):
+        schema = account_schema()
+        with pytest.raises(IntegrityError):
+            schema.validate_row({"Name": "x", "CustomerId": True})
+
+    def test_nullable_column(self):
+        schema = TableSchema(
+            "T",
+            (Column("a", "int"), Column("b", "text", nullable=True)),
+            primary_key="a",
+        )
+        row = schema.validate_row({"a": 1, "b": None})
+        assert row["b"] is None
+
+    def test_numeric_accepts_int_and_float(self):
+        col = Column("x", "numeric")
+        col.check(1)
+        col.check(1.5)
+        with pytest.raises(IntegrityError):
+            col.check("1.5")
+
+
+class TestTable:
+    def commit_version(self, table: Table, key, ts: int, value: dict | None):
+        chain = table.chain_or_create(key)
+        version = Version(ts, txid=ts, value=freeze_row(value))
+        chain.append_committed(version)
+        table.index_committed_version(key, version)
+
+    def test_visible_row_and_scan(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        self.commit_version(table, "bob", 2, {"Name": "bob", "CustomerId": 8})
+        assert table.visible_row("alice", 1)["CustomerId"] == 7
+        assert table.visible_row("bob", 1) is None
+        rows = list(table.scan_visible(5))
+        assert [key for key, _ in rows] == ["alice", "bob"]
+        rows = list(table.scan_visible(5, lambda r: r["CustomerId"] == 8))
+        assert [key for key, _ in rows] == ["bob"]
+
+    def test_lookup_unique_by_secondary_index(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        found = table.lookup_unique("CustomerId", 7, snapshot_ts=5)
+        assert found is not None and found[0] == "alice"
+        assert table.lookup_unique("CustomerId", 99, snapshot_ts=5) is None
+
+    def test_lookup_unique_respects_snapshot(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 3, {"Name": "alice", "CustomerId": 7})
+        assert table.lookup_unique("CustomerId", 7, snapshot_ts=2) is None
+
+    def test_lookup_unique_ignores_stale_index_entries(self):
+        # The superset index keeps old mappings; visibility must filter them.
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        self.commit_version(table, "alice", 4, {"Name": "alice", "CustomerId": 9})
+        assert table.lookup_unique("CustomerId", 7, snapshot_ts=10) is None
+        found = table.lookup_unique("CustomerId", 9, snapshot_ts=10)
+        assert found is not None and found[0] == "alice"
+
+    def test_lookup_by_primary_key_column(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        found = table.lookup_unique("Name", "alice", snapshot_ts=5)
+        assert found is not None and found[1]["CustomerId"] == 7
+
+    def test_lookup_without_index_rejected(self):
+        table = Table(
+            TableSchema(
+                "T", (Column("a", "int"), Column("b", "int")), primary_key="a"
+            )
+        )
+        with pytest.raises(SchemaError):
+            table.lookup_unique("b", 1, snapshot_ts=5)
+
+    def test_unique_check_on_commit(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        with pytest.raises(IntegrityError):
+            table.check_unique_on_commit(
+                "bob", {"Name": "bob", "CustomerId": 7}, as_of_ts=5
+            )
+        # Same key re-committing its own value is fine.
+        table.check_unique_on_commit(
+            "alice", {"Name": "alice", "CustomerId": 7}, as_of_ts=5
+        )
+
+    def test_tombstoned_rows_not_scanned(self):
+        table = Table(account_schema())
+        self.commit_version(table, "alice", 1, {"Name": "alice", "CustomerId": 7})
+        self.commit_version(table, "alice", 2, None)
+        assert list(table.scan_visible(5)) == []
+        assert table.lookup_unique("CustomerId", 7, snapshot_ts=5) is None
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Catalog([account_schema(), account_schema()])
+
+    def test_unknown_table_rejected(self):
+        catalog = Catalog([account_schema()])
+        with pytest.raises(SchemaError):
+            catalog.table("Nope")
+
+    def test_add_table(self):
+        catalog = Catalog([])
+        catalog.add_table(account_schema())
+        assert catalog.has_table("Account")
+        assert catalog.table_names == ("Account",)
+        with pytest.raises(SchemaError):
+            catalog.add_table(account_schema())

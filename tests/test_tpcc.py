@@ -1,0 +1,110 @@
+"""TPC-C SDG analysis — the paper's canonical safe-on-SI application.
+
+"the experts in the Transaction Processing Council could not find any
+non-serializable executions when the TPC-C benchmark executes on a
+platform using SI ... [TODS 2005] proves that the TPC-C benchmark has
+every execution serializable on an SI-based platform" (Sections I–II).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tpcc import (
+    DELIVERY,
+    NEW_ORDER,
+    ORDER_STATUS,
+    PAYMENT,
+    STOCK_LEVEL,
+    tpcc_sdg,
+    tpcc_specs,
+)
+from repro.core import build_sdg
+
+
+@pytest.fixture(scope="module")
+def sdg():
+    return tpcc_sdg(column_granularity=True)
+
+
+class TestTpccIsSiSerializable:
+    def test_no_dangerous_structure(self, sdg):
+        assert sdg.dangerous_structures() == ()
+        assert sdg.is_si_serializable()
+
+    def test_vulnerable_edges_only_from_read_only_programs(self, sdg):
+        read_only = {"OrderStatus", "StockLevel"}
+        for source, _target in sdg.vulnerable_edges():
+            assert source in read_only
+        # And there ARE vulnerable edges: safety comes from structure,
+        # not from the absence of anti-dependencies.
+        assert len(sdg.vulnerable_edges()) >= 4
+
+    def test_updaters_have_no_vulnerable_out_edges(self, sdg):
+        for source in ("NewOrder", "Payment", "Delivery"):
+            for target in sdg.nodes:
+                assert not sdg.is_vulnerable(source, target), (source, target)
+
+    def test_order_handoff_protected_by_shared_write(self, sdg):
+        """Delivery consumes the order row NewOrder created: when the
+        parameters coincide the write-write conflict protects the pair."""
+        edge = sdg.edge("Delivery", "NewOrder")
+        assert edge is not None and not edge.vulnerable
+
+    def test_new_order_payment_disjoint_columns(self, sdg):
+        """NewOrder reads customer discount/credit; Payment writes
+        balance/ytd — same rows, no dataflow: the TODS column argument."""
+        edge = sdg.edge("NewOrder", "Payment")
+        assert edge is None or not edge.vulnerable
+
+
+class TestGranularityMatters:
+    def test_row_granularity_is_conservative(self):
+        coarse = tpcc_sdg(column_granularity=False)
+        assert not coarse.is_si_serializable()
+        # The spurious pivot is NewOrder (its customer/warehouse reads
+        # collide with Payment's writes at row level).
+        assert "NewOrder" in coarse.pivots()
+
+    def test_column_granularity_never_adds_conflicts(self):
+        """Refining granularity can only remove rw/wr conflicts."""
+        fine = tpcc_sdg(column_granularity=True)
+        coarse = tpcc_sdg(column_granularity=False)
+        for source, target in fine.vulnerable_edges():
+            assert coarse.has_edge(source, target)
+        assert set(fine.vulnerable_edges()) <= set(coarse.vulnerable_edges())
+
+    def test_smallbank_unaffected_by_granularity(self):
+        """SmallBank conflicts are all on the Balance column, so both
+        granularities agree — Figure 1 is granularity-robust."""
+        from repro.smallbank import smallbank_specs
+
+        fine = build_sdg(smallbank_specs(), column_granularity=True)
+        coarse = build_sdg(smallbank_specs(), column_granularity=False)
+        assert fine.vulnerable_edges() == coarse.vulnerable_edges()
+        assert [str(s) for s in fine.dangerous_structures()] == [
+            "Balance -(v)-> WriteCheck -(v)-> TransactSaving"
+        ]
+
+
+class TestSpecShapes:
+    def test_five_programs(self):
+        assert tpcc_specs().names == (
+            "NewOrder",
+            "Payment",
+            "OrderStatus",
+            "Delivery",
+            "StockLevel",
+        )
+
+    def test_read_only_classification(self):
+        assert ORDER_STATUS.is_read_only
+        assert STOCK_LEVEL.is_read_only
+        for spec in (NEW_ORDER, PAYMENT, DELIVERY):
+            assert spec.is_update_program
+
+    def test_new_order_is_read_modify_write_on_district_and_stock(self):
+        reads = {(a.table, a.key_param) for a in NEW_ORDER.reads()}
+        writes = {(a.table, a.key_param) for a in NEW_ORDER.writes()}
+        assert ("District", "d") in reads & writes
+        assert ("Stock", "i") in reads & writes

@@ -1,0 +1,144 @@
+"""Tests for mixes, hotspot parameter generation and statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.smallbank import PROGRAM_NAMES, PopulationConfig, build_database
+from repro.smallbank.strategies import get_strategy
+from repro.workload import (
+    BALANCE60_MIX,
+    UNIFORM_MIX,
+    HotspotConfig,
+    ParameterGenerator,
+    RunStats,
+    ThreadedDriver,
+    ThreadedDriverConfig,
+    TransactionMix,
+    get_mix,
+    mean_and_ci,
+)
+from repro.workload.stats import AggregateResult
+
+
+class TestMix:
+    def test_uniform_mix_covers_all_programs(self):
+        rng = random.Random(1)
+        seen = {UNIFORM_MIX.choose(rng) for _ in range(500)}
+        assert seen == set(PROGRAM_NAMES)
+
+    def test_balance60_mix_is_balance_heavy(self):
+        rng = random.Random(1)
+        picks = [BALANCE60_MIX.choose(rng) for _ in range(5000)]
+        fraction = picks.count("Balance") / len(picks)
+        assert 0.55 < fraction < 0.65
+
+    def test_get_mix_unknown(self):
+        with pytest.raises(KeyError):
+            get_mix("nope")
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionMix("bad", {"NotAProgram": 1.0})
+        with pytest.raises(ValueError):
+            TransactionMix("bad", {})
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotConfig(customers=10, hotspot=11)
+        with pytest.raises(ValueError):
+            HotspotConfig(customers=10, hotspot=5, hotspot_probability=1.5)
+
+    def test_ninety_percent_in_hotspot(self):
+        config = HotspotConfig(customers=1000, hotspot=100)
+        generator = ParameterGenerator(config, random.Random(7))
+        picks = [generator.pick_customer() for _ in range(10_000)]
+        in_hot = sum(1 for cid in picks if cid <= 100)
+        assert 0.88 < in_hot / len(picks) < 0.92
+        assert all(1 <= cid <= 1000 for cid in picks)
+
+    def test_hotspot_covering_everything(self):
+        config = HotspotConfig(customers=10, hotspot=10)
+        generator = ParameterGenerator(config, random.Random(7))
+        assert all(1 <= generator.pick_customer() <= 10 for _ in range(100))
+
+    def test_amalgamate_customers_distinct(self):
+        config = HotspotConfig(customers=5, hotspot=5)
+        generator = ParameterGenerator(config, random.Random(7))
+        for _ in range(200):
+            first, second = generator.pick_two_customers()
+            assert first != second
+
+    def test_args_for_every_program(self):
+        config = HotspotConfig(customers=100, hotspot=10)
+        generator = ParameterGenerator(config, random.Random(7))
+        for program in PROGRAM_NAMES:
+            args = generator.args_for(program)
+            if program == "Amalgamate":
+                assert {"N1", "N2"} <= set(args)
+            else:
+                assert "N" in args
+        with pytest.raises(ValueError):
+            generator.args_for("Nope")
+
+
+class TestStats:
+    def test_window_filtering(self):
+        stats = RunStats(window_start=1.0, window_end=2.0)
+        stats.record_commit("Balance", 0.01, at=0.5)  # ramp-up: ignored
+        stats.record_commit("Balance", 0.01, at=1.5)
+        stats.record_commit("Balance", 0.03, at=2.5)  # after window
+        assert stats.total_commits == 1
+        assert stats.tps == pytest.approx(1.0)
+        assert stats.mean_response_time == pytest.approx(0.01)
+
+    def test_abort_rate_excludes_rollbacks(self):
+        stats = RunStats(window_start=0.0, window_end=1.0)
+        stats.record_commit("WriteCheck", 0.01, at=0.5)
+        stats.record_abort("WriteCheck", "serialization", at=0.5)
+        stats.record_rollback("WriteCheck", at=0.5)
+        assert stats.abort_rate("WriteCheck") == pytest.approx(0.5)
+        assert stats.abort_rate() == pytest.approx(0.5)
+        assert stats.abort_count() == 1
+
+    def test_mean_and_ci(self):
+        mean, half = mean_and_ci([10.0, 10.0, 10.0])
+        assert mean == 10.0 and half == 0.0
+        mean, half = mean_and_ci([8.0, 12.0])
+        assert mean == 10.0 and half > 0
+        assert mean_and_ci([]) == (0.0, 0.0)
+        assert mean_and_ci([5.0]) == (5.0, 0.0)
+
+    def test_aggregate_result(self):
+        a = RunStats(window_start=0.0, window_end=1.0)
+        b = RunStats(window_start=0.0, window_end=1.0)
+        for _ in range(10):
+            a.record_commit("Balance", 0.01, at=0.5)
+        for _ in range(20):
+            b.record_commit("Balance", 0.01, at=0.5)
+        agg = AggregateResult([a, b])
+        assert agg.tps == pytest.approx(15.0)
+        assert agg.tps_ci > 0
+        assert agg.commits_of("Balance") == pytest.approx(15.0)
+        assert "TPS" in agg.describe()
+
+
+class TestThreadedDriver:
+    def test_driver_produces_commits(self):
+        config = ThreadedDriverConfig(
+            mpl=3, customers=50, hotspot=10, duration=0.3, seed=5
+        )
+        db = build_database(
+            EngineConfig.postgres(), PopulationConfig(customers=50)
+        )
+        driver = ThreadedDriver(
+            db, get_strategy("base-si").transactions(), config
+        )
+        stats = driver.run()
+        assert stats.total_commits > 0
+        assert stats.mean_response_time > 0
