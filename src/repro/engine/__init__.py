@@ -26,6 +26,7 @@ from repro.engine.config import (
     WriteConflictPolicy,
 )
 from repro.engine.engine import Database, Row, WaitOn
+from repro.engine.recovery import recover_database, replay_records
 from repro.engine.locks import LockManager, LockMode, RowId
 from repro.engine.session import (
     NoWaitWaiter,
@@ -37,7 +38,7 @@ from repro.engine.session import (
 from repro.engine.storage import Catalog, Column, Table, TableSchema
 from repro.engine.transaction import OWN_WRITE, Transaction, TxnStatus
 from repro.engine.versions import UncommittedVersion, Version, VersionChain
-from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.engine.wal import RedoEntry, WalRecord, WriteAheadLog
 
 __all__ = [
     "Catalog",
@@ -50,7 +51,10 @@ __all__ = [
     "LogicalClock",
     "NoWaitWaiter",
     "OWN_WRITE",
+    "RedoEntry",
     "Row",
+    "recover_database",
+    "replay_records",
     "RowId",
     "Session",
     "SfuSemantics",

@@ -37,3 +37,14 @@ class LogicalClock:
     def last(self) -> int:
         """The most recently issued timestamp (0 if none issued yet)."""
         return self._last
+
+    def advance_to(self, ts: int) -> None:
+        """Ensure future timestamps are strictly greater than ``ts``.
+
+        Used by crash recovery: after replaying a WAL prefix the clock must
+        not reissue any timestamp at or below the replayed horizon.
+        """
+        with self._lock:
+            if ts > self._last:
+                self._last = ts
+                self._counter = itertools.count(ts + 1)

@@ -55,11 +55,26 @@ class EngineConfig:
 
     The two platform presets used throughout the reproduction are exposed as
     :meth:`postgres` and :meth:`commercial`.
+
+    ``lock_timeout`` bounds how long a session waits for a row lock
+    (seconds — wall-clock under the threaded driver, simulated time under
+    the simulator).  ``None`` (the default, matching PostgreSQL's
+    ``lock_timeout = 0``) waits forever; an expired wait aborts the waiter
+    with :class:`~repro.errors.LockTimeout`.
     """
 
     isolation: IsolationLevel = IsolationLevel.SI
     write_conflict: WriteConflictPolicy = WriteConflictPolicy.FIRST_UPDATER_WINS
     sfu: SfuSemantics = SfuSemantics.LOCK_ONLY
+    lock_timeout: "float | None" = None
+
+    def with_lock_timeout(self, lock_timeout: "float | None") -> "EngineConfig":
+        """This configuration with a different lock-wait timeout."""
+        from dataclasses import replace
+
+        if lock_timeout is not None and lock_timeout <= 0:
+            raise ValueError("lock_timeout must be positive (or None to wait forever)")
+        return replace(self, lock_timeout=lock_timeout)
 
     @classmethod
     def postgres(cls) -> "EngineConfig":

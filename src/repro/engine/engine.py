@@ -49,11 +49,14 @@ from repro.engine.transaction import OWN_WRITE, Transaction, TxnStatus
 from repro.engine.versions import UncommittedVersion, Version, freeze_row
 from repro.engine.wal import WalRecord, WriteAheadLog
 from repro.errors import (
+    DatabaseCrashed,
+    FaultInjected,
     IntegrityError,
     SerializationFailure,
     SsiAbort,
     TransactionStateError,
 )
+from repro.faults import FaultPlan
 
 Row = Mapping[str, object]
 
@@ -90,6 +93,9 @@ class Database:
     observers:
         Optional callables invoked as ``observer(txn)`` after every commit
         and abort — the hook used by the dynamic-analysis recorder.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  With none installed
+        (the default) every injection hook is a no-op.
     """
 
     def __init__(
@@ -99,17 +105,23 @@ class Database:
         observers: Optional[
             list[Callable[[Transaction], None]]
         ] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config or EngineConfig.postgres()
         self.catalog = Catalog(list(schemas))
         self.clock = LogicalClock()
-        self.locks = LockManager()
+        self.locks = LockManager(lock_timeout=self.config.lock_timeout)
         self.wal = WriteAheadLog()
+        self.faults = faults
         self._mutex = threading.RLock()
         self._active: dict[int, Transaction] = {}
         self._observers = list(observers or [])
         self._ssi = SsiCertifier() if self.config.isolation is IsolationLevel.SSI else None
         self._txid_counter = 0
+        self._crashed = False
+        # Bootstrap rows double as the recovery checkpoint: load_row data
+        # is "already on disk" and survives crashes without a WAL record.
+        self._bootstrap: list[tuple[str, dict[str, object]]] = []
 
     # ------------------------------------------------------------------
     # Bootstrap loading (outside any transaction)
@@ -122,6 +134,7 @@ class Database:
         measurements.
         """
         with self._mutex:
+            self._ensure_not_crashed()
             table = self.catalog.table(table_name)
             value = table.schema.validate_row(row)
             key = value[table.schema.primary_key]
@@ -135,15 +148,64 @@ class Database:
             )
             chain.append_committed(version)
             table.index_committed_version(key, version)
+            self._bootstrap.append((table_name, dict(value)))
 
     def add_observer(self, observer: Callable[[Transaction], None]) -> None:
         self._observers.append(observer)
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Install (or clear) the fault-injection plan."""
+        with self._mutex:
+            self.faults = plan
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    @property
+    def is_crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Simulate a power failure.
+
+        All in-memory state is lost: active transactions vanish (their
+        locks and uncommitted versions are irrelevant — nothing of them
+        was durable), and the WAL's unflushed tail is discarded.  Every
+        subsequent operation raises :class:`~repro.errors.DatabaseCrashed`
+        until :meth:`recover` produces a fresh instance.
+        """
+        with self._mutex:
+            self._crash_locked()
+
+    def _crash_locked(self) -> None:
+        self._crashed = True
+        self._active.clear()
+        self.wal.truncate_to_flushed()
+
+    def recover(self) -> "Database":
+        """Rebuild a fresh :class:`Database` from the durable state.
+
+        Durable state = the bootstrap rows (the checkpoint image) plus the
+        flushed WAL prefix.  The recovered instance carries the same
+        configuration, observers and fault plan.  Callable on a live
+        instance too (point-in-time clone of the durable state).
+        """
+        from repro.engine.recovery import recover_database
+
+        return recover_database(self)
+
+    def _ensure_not_crashed(self) -> None:
+        if self._crashed:
+            raise DatabaseCrashed(
+                "database has crashed; call recover() to rebuild from the WAL"
+            )
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
     # ------------------------------------------------------------------
     def begin(self, label: str = "") -> Transaction:
         with self._mutex:
+            self._ensure_not_crashed()
             self._txid_counter += 1
             txn = Transaction(
                 self._txid_counter, self.clock.next(), label=label
@@ -170,6 +232,7 @@ class Database:
         :class:`WaitOn` when the shared lock conflicts with a writer.
         """
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             self._check_doomed(txn)
             table = self.catalog.table(table_name)
@@ -193,6 +256,7 @@ class Database:
         matched row is share-locked.
         """
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             self._check_doomed(txn)
             table = self.catalog.table(table_name)
@@ -225,6 +289,7 @@ class Database:
         measurement run, which the analysis layer checks).
         """
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             self._check_doomed(txn)
             table = self.catalog.table(table_name)
@@ -273,6 +338,7 @@ class Database:
         transaction's concurrency-control write set.
         """
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             self._check_doomed(txn)
             table = self.catalog.table(table_name)
@@ -308,6 +374,7 @@ class Database:
         The value becomes visible to other transactions only at commit.
         """
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             self._check_doomed(txn)
             table = self.catalog.table(table_name)
@@ -341,6 +408,7 @@ class Database:
     ) -> "None | WaitOn":
         """Insert a new row; duplicate (visible) keys raise IntegrityError."""
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
             table = self.catalog.table(table_name)
             value = table.schema.validate_row(value)
@@ -372,7 +440,15 @@ class Database:
         """
         callbacks: list[Callable[[Transaction], None]]
         with self._mutex:
+            self._ensure_not_crashed()
             txn.ensure_active()
+            if self.faults is not None and self.faults.should_fire("abort-at-commit"):
+                self._abort_locked(txn)
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
+                raise FaultInjected(
+                    f"txn {txn.txid} ({txn.label}) aborted at commit by fault plan"
+                )
             if self._ssi is not None and self._ssi.is_doomed(txn):
                 self._abort_locked(txn)
                 callbacks = txn.drain_callbacks()
@@ -410,8 +486,25 @@ class Database:
                         txid=txn.txid,
                         label=txn.label,
                         rows=tuple(txn.write_order),
+                        redo=tuple(
+                            (row_id, txn.writes[row_id])
+                            for row_id in txn.write_order
+                        ),
                     )
                 )
+                if self.faults is not None and self.faults.should_fire(
+                    "crash-mid-commit"
+                ):
+                    # Power fails after the record is staged but before the
+                    # flush: the commit is NOT durable and must vanish on
+                    # recovery, even though versions were already published
+                    # in (now lost) memory.
+                    self._crash_locked()
+                    raise DatabaseCrashed(
+                        f"crash injected during commit of txn {txn.txid} "
+                        f"({txn.label}): WAL record staged but not flushed"
+                    )
+                self.wal.flush()
             txn.status = TxnStatus.COMMITTED
             self._active.pop(txn.txid, None)
             self.locks.release_all(txn.txid)

@@ -56,9 +56,18 @@ class LockManager:
 
     The caller (the :class:`~repro.engine.engine.Database`) serializes access
     with its own mutex, so this class needs no internal locking.
+
+    ``lock_timeout`` is the maximum time (seconds) a session may wait for a
+    lock before the wait expires with :class:`~repro.errors.LockTimeout`.
+    The manager itself never blocks, so enforcement happens in the waiting
+    layer (:mod:`repro.engine.session`); the value lives here because it is
+    lock-manager policy, alongside deadlock detection.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, lock_timeout: Optional[float] = None) -> None:
+        if lock_timeout is not None and lock_timeout <= 0:
+            raise ValueError("lock_timeout must be positive (or None to wait forever)")
+        self.lock_timeout = lock_timeout
         self._locks: dict[RowId, _LockEntry] = {}
         self._held_by_txn: dict[int, set[RowId]] = {}
         # txid -> ids of transactions it currently waits for.

@@ -36,7 +36,7 @@ from typing import Callable, Hashable, Mapping, Optional, TypeVar, Union
 
 from repro.engine.engine import Database, Row, WaitOn
 from repro.engine.transaction import Transaction
-from repro.errors import EngineError, TransactionStateError
+from repro.errors import EngineError, LockTimeout, TransactionStateError
 
 T = TypeVar("T")
 
@@ -52,26 +52,33 @@ class WouldBlock(EngineError):
 
 
 class Waiter:
-    """Strategy for waiting until any of a set of transactions resolves."""
+    """Strategy for waiting until any of a set of transactions resolves.
 
-    def wait_any(self, wait: WaitOn) -> None:
+    ``wait_any`` may accept an optional ``timeout`` (seconds) and returns
+    falsy/None when the wake-up happened and ``False``-as-timed-out is
+    reported by returning ``False``.  Returning ``None`` (legacy waiters)
+    means "woke up normally" — the session treats only an explicit
+    ``False`` as an expired lock-wait timeout.
+    """
+
+    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> "bool | None":
         raise NotImplementedError
 
 
 class ThreadedWaiter(Waiter):
     """Block the calling OS thread on a :class:`threading.Event`."""
 
-    def wait_any(self, wait: WaitOn) -> None:
+    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> bool:
         event = threading.Event()
         for blocker in wait.blockers:
             blocker.add_resolution_callback(lambda _txn: event.set())
-        event.wait()
+        return event.wait(timeout)
 
 
 class NoWaitWaiter(Waiter):
     """Never wait; surface the block to the caller as :class:`WouldBlock`."""
 
-    def wait_any(self, wait: WaitOn) -> None:
+    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> bool:
         raise WouldBlock(wait)
 
 
@@ -210,11 +217,29 @@ class Session:
 
     def _wait(self, wait: WaitOn) -> None:
         txn = self.transaction
+        faults = self.db.faults
+        if faults is not None and faults.should_fire("lock-timeout"):
+            # Injected expiry: the wait "times out" immediately.
+            self.db.abort(txn)
+            raise LockTimeout(
+                f"txn {txn.txid} ({txn.label}): injected lock-wait timeout "
+                f"on {sorted(wait.blocker_ids)}"
+            )
+        timeout = self.db.locks.lock_timeout
         self.db.begin_wait(txn, wait)  # raises DeadlockError (txn aborted)
         try:
-            self.waiter.wait_any(wait)
+            if timeout is None:
+                woke = self.waiter.wait_any(wait)
+            else:
+                woke = self.waiter.wait_any(wait, timeout)
         finally:
             self.db.end_wait(txn)
+        if woke is False:
+            self.db.abort(txn)
+            raise LockTimeout(
+                f"txn {txn.txid} ({txn.label}): lock wait exceeded "
+                f"{timeout}s waiting for {sorted(wait.blocker_ids)}"
+            )
 
     def _charge(self, kind: str) -> None:
         if self.statement_hook is not None:

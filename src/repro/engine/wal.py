@@ -1,4 +1,4 @@
-"""Logical write-ahead log.
+"""Logical write-ahead log with redo payloads and a flush boundary.
 
 The engine appends one :class:`WalRecord` per committing transaction *that
 wrote something*.  Read-only transactions (including transactions whose only
@@ -6,6 +6,19 @@ wrote something*.  Read-only transactions (including transactions whose only
 the asymmetry that drives the paper's MPL-1 analysis: a strategy that turns
 the read-only Balance program into an updater makes every transaction pay a
 log-disk write.
+
+Each record carries its *redo payload*: the full after-image of every row
+the transaction wrote (``None`` marks a deletion tombstone).  Replaying the
+payloads of a WAL prefix in order rebuilds the committed state as of that
+prefix — the contract :mod:`repro.engine.recovery` relies on.
+
+Durability is modelled with a *flush boundary*: :meth:`WriteAheadLog.append`
+stages a record in the volatile tail and :meth:`WriteAheadLog.flush` moves
+the boundary past everything staged so far.  A crash discards the tail;
+only :attr:`WriteAheadLog.durable_records` survive.  In normal operation the
+engine flushes at every commit (the client only sees the commit succeed once
+the record is durable); a fault plan may crash the engine between the append
+and the flush — exactly the window a real power failure hits.
 
 The performance simulator does not move bytes; it charges the *flush* to a
 group-commit disk resource (:class:`repro.sim.resources.GroupCommitLog`).
@@ -15,36 +28,89 @@ which transactions would have forced a flush.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
 
 from repro.engine.locks import RowId
+
+#: One redo entry: the row written and its full after-image (``None`` for a
+#: deletion tombstone).
+RedoEntry = tuple[RowId, Optional[Mapping[str, object]]]
 
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One commit record."""
+    """One commit record.
+
+    ``rows`` names the rows written (in write order); ``redo`` carries the
+    matching after-images.  ``redo`` may be empty for hand-built records in
+    tests that only exercise the logical stream — the recovery layer
+    requires it and checks.
+    """
 
     commit_ts: int
     txid: int
     label: str
     rows: tuple[RowId, ...]
+    redo: tuple[RedoEntry, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.redo and tuple(row for row, _ in self.redo) != self.rows:
+            raise ValueError(
+                "redo payload rows must match the record's row list"
+            )
+
+    @property
+    def has_redo(self) -> bool:
+        """True when the record can be replayed (payload present or empty write set)."""
+        return not self.rows or bool(self.redo)
 
 
 class WriteAheadLog:
-    """Append-only list of commit records, ordered by commit timestamp."""
+    """Append-only list of commit records, ordered by commit timestamp.
+
+    Records sit in a volatile tail until :meth:`flush` advances the flush
+    boundary past them; :meth:`truncate_to_flushed` models a crash by
+    discarding the tail.
+    """
 
     def __init__(self) -> None:
         self._records: list[WalRecord] = []
+        self._flushed = 0
 
     def append(self, record: WalRecord) -> None:
         if self._records and record.commit_ts <= self._records[-1].commit_ts:
             raise ValueError("WAL records must have increasing commit timestamps")
         self._records.append(record)
 
+    def flush(self) -> int:
+        """Make every staged record durable; returns the flush boundary."""
+        self._flushed = len(self._records)
+        return self._flushed
+
     @property
     def records(self) -> tuple[WalRecord, ...]:
         return tuple(self._records)
+
+    @property
+    def durable_records(self) -> tuple[WalRecord, ...]:
+        """The flushed prefix — everything that survives a crash."""
+        return tuple(self._records[: self._flushed])
+
+    @property
+    def flushed_count(self) -> int:
+        return self._flushed
+
+    @property
+    def unflushed_count(self) -> int:
+        """Records staged but not yet durable (lost on crash)."""
+        return len(self._records) - self._flushed
+
+    def truncate_to_flushed(self) -> tuple[WalRecord, ...]:
+        """Discard the volatile tail (crash); returns the dropped records."""
+        dropped = tuple(self._records[self._flushed :])
+        del self._records[self._flushed :]
+        return dropped
 
     def __len__(self) -> int:
         return len(self._records)

@@ -55,6 +55,29 @@ class DeadlockError(TransactionAborted):
     reason = "deadlock"
 
 
+class LockTimeout(TransactionAborted):
+    """A lock wait exceeded the configured ``lock_timeout``.
+
+    Corresponds to PostgreSQL's ``ERROR: canceling statement due to lock
+    timeout`` (SQLSTATE 55P03) when ``lock_timeout`` is set.  The waiting
+    transaction is aborted before the error propagates, so like a deadlock
+    it is safe to retry as a new transaction.
+    """
+
+    reason = "lock-timeout"
+
+
+class FaultInjected(TransactionAborted):
+    """A fault-injection plan aborted the transaction (chaos testing).
+
+    Semantically equivalent to a spurious server-side abort: the
+    transaction's effects are rolled back and retrying as a new
+    transaction is safe.
+    """
+
+    reason = "fault"
+
+
 class SsiAbort(SerializationFailure):
     """Abort raised by the SSI certifier (engine mode ``SSI``).
 
@@ -81,6 +104,20 @@ class ApplicationRollback(ReproError):
 
 class IntegrityError(EngineError):
     """A schema constraint (primary key / unique index / type) was violated."""
+
+
+class DatabaseCrashed(EngineError):
+    """The database crashed (or a crash was injected) and must recover.
+
+    Raised by the operation during which the crash happened and by every
+    subsequent operation on the crashed instance.  This is *not* a
+    :class:`TransactionAborted`: the client cannot simply retry on the same
+    database — it must wait for :meth:`~repro.engine.engine.Database.recover`.
+    """
+
+
+class RecoveryError(EngineError):
+    """WAL replay failed (corrupt prefix, non-monotonic timestamps, ...)."""
 
 
 class SchemaError(EngineError):

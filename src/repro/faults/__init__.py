@@ -1,0 +1,10 @@
+"""Fault injection: deterministic chaos for the engine, simulator and drivers.
+
+See :mod:`repro.faults.plan` for the model and the list of injection
+points.  Everything is strictly opt-in: with no :class:`FaultPlan`
+installed, every hook is a no-op and executions are unchanged.
+"""
+
+from repro.faults.plan import INJECTION_POINTS, FaultPlan, FaultSpec
+
+__all__ = ["FaultPlan", "FaultSpec", "INJECTION_POINTS"]

@@ -1,0 +1,156 @@
+"""Deterministic, seedable fault injection.
+
+A :class:`FaultPlan` is a passive oracle: code at an *injection point* asks
+:meth:`FaultPlan.should_fire` and acts on the answer.  The plan never
+reaches into the engine itself, so with no plan installed every hook is a
+``None`` check and the seed figures stay bit-identical.
+
+Injection points wired into the system (see :data:`INJECTION_POINTS`):
+
+``abort-at-commit``
+    :meth:`repro.engine.engine.Database.commit` aborts the transaction and
+    raises :class:`~repro.errors.FaultInjected` — a spurious server-side
+    abort, safe to retry.
+``crash-mid-commit``
+    ``Database.commit`` crashes the engine *after* appending the commit's
+    WAL record but *before* flushing it — the power-failure window.  The
+    committer sees :class:`~repro.errors.DatabaseCrashed`; the record must
+    vanish on recovery.
+``wal-stall``
+    :class:`repro.sim.resources.GroupCommitLog` adds ``magnitude`` seconds
+    of latency to the flush (a disk hiccup / write-cache destage stall).
+``client-death``
+    A workload client (simulated or threaded) dies at the top of its loop
+    instead of issuing another transaction.
+``lock-timeout``
+    :class:`repro.engine.session.Session` treats the next lock wait as an
+    expired lock-wait timeout: the transaction aborts with
+    :class:`~repro.errors.LockTimeout` without waiting.
+
+Determinism: every probabilistic decision draws from one private
+``random.Random`` seeded at construction, consumed in call order under a
+lock, so a single-threaded run (the simulator, a sequential chaos loop)
+replays identically for the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: The injection points the engine, simulator and drivers consult.
+INJECTION_POINTS = frozenset(
+    {
+        "abort-at-commit",
+        "crash-mid-commit",
+        "wal-stall",
+        "client-death",
+        "lock-timeout",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When and how one injection point misbehaves.
+
+    Attributes
+    ----------
+    point:
+        One of :data:`INJECTION_POINTS`.
+    probability:
+        Chance of firing per opportunity (1.0 = always).
+    start_after:
+        Skip the first ``start_after`` opportunities (lets a run warm up
+        before chaos begins).
+    max_fires:
+        Stop firing after this many injections (``None`` = unlimited).
+    magnitude:
+        Point-specific intensity — seconds of stall for ``wal-stall``;
+        unused elsewhere.
+    """
+
+    point: str
+    probability: float = 1.0
+    start_after: int = 0
+    max_fires: Optional[int] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            known = ", ".join(sorted(INJECTION_POINTS))
+            raise ValueError(f"unknown injection point {self.point!r}; known: {known}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.start_after < 0:
+            raise ValueError("start_after must be non-negative")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be non-negative")
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be non-negative")
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules plus firing statistics.
+
+    Thread-safe: opportunities are counted and random draws made under a
+    lock, so the threaded driver can share one plan across workers.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self._specs: dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in self._specs:
+                raise ValueError(f"duplicate spec for injection point {spec.point!r}")
+            self._specs[spec.point] = spec
+        self.seed = seed
+        self._rng = random.Random(f"fault-plan/{seed}")
+        self._lock = threading.Lock()
+        #: How many times each point was consulted.
+        self.opportunities: Counter = Counter()
+        #: How many times each point actually fired.
+        self.injections: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def covers(self, point: str) -> bool:
+        return point in self._specs
+
+    def should_fire(self, point: str) -> bool:
+        """Consult the plan at ``point``; records the opportunity either way."""
+        if point not in INJECTION_POINTS:
+            raise ValueError(f"unknown injection point {point!r}")
+        with self._lock:
+            seen = self.opportunities[point]
+            self.opportunities[point] += 1
+            spec = self._specs.get(point)
+            if spec is None:
+                return False
+            if seen < spec.start_after:
+                return False
+            if spec.max_fires is not None and self.injections[point] >= spec.max_fires:
+                return False
+            if spec.probability >= 1.0:
+                fire = True
+            elif spec.probability <= 0.0:
+                fire = False
+            else:
+                fire = self._rng.random() < spec.probability
+            if fire:
+                self.injections[point] += 1
+            return fire
+
+    def magnitude(self, point: str) -> float:
+        """The intensity configured for ``point`` (0.0 when unconfigured)."""
+        spec = self._specs.get(point)
+        return spec.magnitude if spec is not None else 0.0
+
+    def fired(self, point: str) -> int:
+        """How many injections have happened at ``point`` so far."""
+        return self.injections[point]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        points = ", ".join(sorted(self._specs)) or "<empty>"
+        return f"FaultPlan(seed={self.seed}, points=[{points}])"

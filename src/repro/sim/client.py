@@ -7,11 +7,23 @@ transaction".  Statements charge the platform's CPU; commits of writing
 transactions wait on the group-commit WAL disk; lock waits suspend in
 simulated time; serialization failures and deadlocks count as aborts and
 the client moves on to a fresh transaction.
+
+The retry layer rides on top: with a non-default
+:class:`~repro.workload.retry.RetryPolicy` the client retries the *same*
+request (program + arguments) as a new transaction, backing off in
+simulated time, before giving up and drawing a fresh request.  The default
+policy (``max_attempts=1``) reproduces the paper's protocol exactly —
+including the random streams, since no extra draws or sleeps happen.
+
+A :class:`~repro.faults.FaultPlan` installed on the database can kill the
+client (``client-death``) or force lock-wait expiry; WAL stalls are
+injected by the :class:`~repro.sim.resources.GroupCommitLog` itself.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from repro.engine.engine import Database, WaitOn
 from repro.engine.session import Session, Waiter
@@ -21,20 +33,39 @@ from repro.sim.platform import PlatformModel
 from repro.sim.resources import GroupCommitLog, Resource
 from repro.smallbank.transactions import SmallBankTransactions
 from repro.workload.mix import ParameterGenerator, TransactionMix
+from repro.workload.retry import RetryPolicy
 from repro.workload.stats import RunStats
 
 
 class SimWaiter(Waiter):
-    """Suspend the simulated client until any blocker resolves."""
+    """Suspend the simulated client until any blocker resolves.
+
+    With a ``timeout`` the waiter also schedules an expiry at ``now +
+    timeout`` simulated seconds and reports ``False`` when the expiry wins
+    the race — the session turns that into a
+    :class:`~repro.errors.LockTimeout` abort.
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
 
-    def wait_any(self, wait: WaitOn) -> None:
+    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> bool:
         event = SimEvent(self.sim)
         for blocker in wait.blockers:
             blocker.add_resolution_callback(lambda _txn: event.fire())
+        if timeout is None:
+            event.wait()
+            return True
+        expired = [False]
+
+        def expire() -> None:
+            if not event.fired:
+                expired[0] = True
+                event.fire()
+
+        self.sim.schedule(timeout, expire)
         event.wait()
+        return not expired[0]
 
 
 class SimulatedClient:
@@ -54,6 +85,7 @@ class SimulatedClient:
         *,
         mpl: int,
         rng: random.Random,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.db = db
@@ -66,6 +98,7 @@ class SimulatedClient:
         self.stats = stats
         self.mpl = mpl
         self.rng = rng
+        self.retry = retry or RetryPolicy.paper_default()
         self._cpu_multiplier = platform.cpu_multiplier(mpl)
 
     # ------------------------------------------------------------------
@@ -93,26 +126,46 @@ class SimulatedClient:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Process body: loop until the simulation shuts down."""
+        policy = self.retry
         while True:
             self.sim.checkpoint()
+            faults = self.db.faults
+            if faults is not None and faults.should_fire("client-death"):
+                return
             program = self.mix.choose(self.rng)
             args = self.generator.args_for(program)
             started = self.sim.now
-            session = Session(
-                self.db,
-                waiter=SimWaiter(self.sim),
-                statement_hook=self._statement_hook,
-            )
-            self.sim.sleep(self.platform.network_rtt)
-            try:
-                session.begin(program)
-                self.transactions.body(program)(session, args)
-                self._commit(session)
-                self.stats.record_commit(
-                    program, self.sim.now - started, self.sim.now
+            attempts = 0
+            while True:
+                attempts += 1
+                session = Session(
+                    self.db,
+                    waiter=SimWaiter(self.sim),
+                    statement_hook=self._statement_hook,
                 )
-            except ApplicationRollback:
-                self.stats.record_rollback(program, self.sim.now)
-            except TransactionAborted as exc:
-                session.rollback()
-                self.stats.record_abort(program, exc.reason, self.sim.now)
+                self.sim.sleep(self.platform.network_rtt)
+                try:
+                    session.begin(program)
+                    self.transactions.body(program)(session, args)
+                    self._commit(session)
+                    self.stats.record_commit(
+                        program, self.sim.now - started, self.sim.now, attempts
+                    )
+                    break
+                except ApplicationRollback:
+                    session.rollback()
+                    self.stats.record_rollback(program, self.sim.now)
+                    break
+                except TransactionAborted as exc:
+                    session.rollback()
+                    self.stats.record_abort(program, exc.reason, self.sim.now)
+                    if not policy.should_retry(exc, attempts):
+                        self.stats.record_giveup(program, self.sim.now)
+                        break
+                    self.stats.record_retry(program, self.sim.now)
+                    # Jitter draws share the client's stream; they only
+                    # happen under a non-default policy, where exact figure
+                    # reproduction is not expected (still deterministic).
+                    delay = policy.backoff(attempts, self.rng)
+                    if delay > 0:
+                        self.sim.sleep(delay)

@@ -10,8 +10,12 @@ Balance program into an updater.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from repro.sim.core import SimEvent, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
 
 
 class Resource:
@@ -86,16 +90,20 @@ class GroupCommitLog:
         *,
         flush_time: float,
         commit_delay: float = 0.0,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if flush_time <= 0:
             raise ValueError("flush_time must be positive")
         self.sim = sim
         self.flush_time = flush_time
         self.commit_delay = commit_delay
+        self.faults = faults
         self._pending: list[SimEvent] = []
         self._active = False  # a gather window or flush is in progress
         self.flush_count = 0
         self.commits_flushed = 0
+        self.stall_count = 0
+        self.stall_time = 0.0
 
     # ------------------------------------------------------------------
     def commit_flush(self) -> None:
@@ -115,8 +123,16 @@ class GroupCommitLog:
             return
         self.flush_count += 1
         self.commits_flushed += len(batch)
+        flush_time = self.flush_time
+        if self.faults is not None and self.faults.should_fire("wal-stall"):
+            # A disk hiccup: this flush (and every commit riding it) takes
+            # ``magnitude`` extra seconds while row locks stay held.
+            stall = self.faults.magnitude("wal-stall")
+            flush_time += stall
+            self.stall_count += 1
+            self.stall_time += stall
         self.sim.schedule(
-            self.flush_time, lambda: self._finish_flush(batch)
+            flush_time, lambda: self._finish_flush(batch)
         )
 
     def _finish_flush(self, batch: list[SimEvent]) -> None:

@@ -19,8 +19,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable
 
 from repro.engine.engine import Database
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
+    from repro.workload.retry import RetryPolicy
 from repro.sim.client import SimulatedClient
 from repro.sim.core import Simulator
 from repro.sim.platform import PlatformModel, get_platform
@@ -67,12 +72,23 @@ class SimulationConfig:
 def run_once(
     config: SimulationConfig,
     platform_model: "PlatformModel | None" = None,
+    *,
+    fault_plan: "FaultPlan | None" = None,
+    retry: "RetryPolicy | None" = None,
+    on_database: "Callable[[Database], None] | None" = None,
 ) -> RunStats:
     """Run one simulation and return its measurement-window statistics.
 
     ``platform_model`` overrides the named platform's cost model — the
     hook the ablation benchmarks use (e.g. sweeping the WAL flush latency
     or disabling the group-commit gather window).
+
+    ``fault_plan`` installs a :class:`~repro.faults.FaultPlan` on the
+    database and the WAL disk (chaos benchmarks); ``retry`` overrides the
+    clients' retry protocol; ``on_database`` runs against the freshly
+    populated database before clients start (e.g. to attach a
+    :class:`~repro.analysis.checker.SerializabilityChecker`).  All three
+    default to no-ops that leave the seed figures unchanged.
     """
     platform: PlatformModel = platform_model or get_platform(config.platform)
     strategy = get_strategy(config.strategy)
@@ -80,6 +96,10 @@ def run_once(
         platform.engine_config,
         PopulationConfig(customers=config.customers, seed=config.seed),
     )
+    if fault_plan is not None:
+        db.install_faults(fault_plan)
+    if on_database is not None:
+        on_database(db)
     transactions = strategy.transactions()
 
     sim = Simulator()
@@ -88,6 +108,7 @@ def run_once(
         sim,
         flush_time=platform.wal_flush_time,
         commit_delay=platform.wal_commit_delay,
+        faults=fault_plan,
     )
     stats = RunStats(
         window_start=config.ramp_up,
@@ -113,6 +134,7 @@ def run_once(
             stats,
             mpl=config.mpl,
             rng=rng,
+            retry=retry,
         )
         sim.spawn(client.run, name=f"client-{client_id}")
     try:

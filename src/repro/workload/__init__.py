@@ -1,6 +1,11 @@
 """Workload definitions and the threaded closed-system driver."""
 
-from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
+from repro.workload.driver import (
+    ThreadedDriver,
+    ThreadedDriverConfig,
+    ThreadedDriverError,
+)
+from repro.workload.retry import RetryPolicy
 from repro.workload.mix import (
     BALANCE60_MIX,
     MIXES,
@@ -23,9 +28,11 @@ __all__ = [
     "HotspotConfig",
     "MIXES",
     "ParameterGenerator",
+    "RetryPolicy",
     "RunStats",
     "ThreadedDriver",
     "ThreadedDriverConfig",
+    "ThreadedDriverError",
     "TransactionMix",
     "UNIFORM_MIX",
     "get_mix",

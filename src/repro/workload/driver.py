@@ -5,6 +5,20 @@ time is modelled; this driver runs the same mix on real OS threads and is
 used for correctness under genuine concurrency (combine with
 :class:`~repro.analysis.SerializabilityChecker`) and for quick smoke
 benchmarks of the engine itself.
+
+Robustness contract:
+
+* every transaction outcome releases its session — aborts *and* business
+  rollbacks call ``session.rollback()`` so no locks or uncommitted
+  versions leak into later requests;
+* a worker thread that dies on an unexpected exception does not silently
+  deflate the run's TPS: per-thread exceptions are captured and re-raised
+  (as :class:`ThreadedDriverError`) after all threads are joined, and
+  threads still alive after the join timeout are reported the same way;
+* retries follow the shared :class:`~repro.workload.retry.RetryPolicy`
+  (default: the paper's retry-as-new-transaction protocol), and a
+  :class:`~repro.faults.FaultPlan` installed on the database can kill
+  clients mid-run (``client-death``).
 """
 
 from __future__ import annotations
@@ -13,13 +27,45 @@ import random
 import threading
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.engine import Database
 from repro.engine.session import Session
-from repro.errors import ApplicationRollback, TransactionAborted
+from repro.errors import ApplicationRollback, ReproError, TransactionAborted
 from repro.smallbank.transactions import SmallBankTransactions
 from repro.workload.mix import HotspotConfig, ParameterGenerator, get_mix
+from repro.workload.retry import RetryPolicy
 from repro.workload.stats import RunStats
+
+
+class ThreadedDriverError(ReproError):
+    """One or more worker threads failed or never finished.
+
+    ``failures`` maps client id to the exception that killed the worker;
+    ``stuck`` lists client ids whose threads were still alive after the
+    join timeout.
+    """
+
+    def __init__(
+        self,
+        failures: "dict[int, BaseException]",
+        stuck: "tuple[int, ...]" = (),
+    ) -> None:
+        parts = []
+        if failures:
+            detail = "; ".join(
+                f"client {cid}: {type(exc).__name__}: {exc}"
+                for cid, exc in sorted(failures.items())
+            )
+            parts.append(f"{len(failures)} worker(s) died ({detail})")
+        if stuck:
+            parts.append(
+                f"{len(stuck)} worker(s) still alive after join timeout: "
+                f"{sorted(stuck)}"
+            )
+        super().__init__("; ".join(parts) or "threaded driver failure")
+        self.failures = dict(failures)
+        self.stuck = tuple(stuck)
 
 
 @dataclass(frozen=True)
@@ -32,6 +78,11 @@ class ThreadedDriverConfig:
     duration: float = 1.0
     ramp_up: float = 0.0
     seed: int = 1
+    #: Extra wall-clock grace given to the join beyond ramp-up + duration.
+    join_grace: float = 60.0
+    #: In-place retry protocol; ``None`` means the paper's default
+    #: (surface every abort, move on to a fresh transaction).
+    retry: Optional[RetryPolicy] = None
 
 
 class ThreadedDriver:
@@ -49,6 +100,7 @@ class ThreadedDriver:
 
     def run(self) -> RunStats:
         config = self.config
+        policy = config.retry or RetryPolicy.paper_default()
         stats = RunStats(
             window_start=config.ramp_up,
             window_end=config.ramp_up + config.duration,
@@ -67,27 +119,71 @@ class ThreadedDriver:
 
         def worker(client_id: int) -> None:
             rng = random.Random(f"{config.seed}/{client_id}")
+            backoff_rng = random.Random(f"{config.seed}/backoff/{client_id}")
             generator = ParameterGenerator(hotspot, rng)
+            faults = self.db.faults
             while time.monotonic() < deadline:
+                if faults is not None and faults.should_fire("client-death"):
+                    return
                 program = mix.choose(rng)
                 args = generator.args_for(program)
-                session = Session(self.db)
-                started = clock()
-                try:
-                    self.transactions.run(session, program, args)
-                    stats.record_commit(program, clock() - started, clock())
-                except ApplicationRollback:
-                    stats.record_rollback(program, clock())
-                except TransactionAborted as exc:
-                    session.rollback()
-                    stats.record_abort(program, exc.reason, clock())
+                attempts = 0
+                while True:
+                    attempts += 1
+                    session = Session(self.db)
+                    started = clock()
+                    try:
+                        self.transactions.run(session, program, args)
+                        stats.record_commit(
+                            program, clock() - started, clock(), attempts
+                        )
+                        break
+                    except ApplicationRollback:
+                        session.rollback()
+                        stats.record_rollback(program, clock())
+                        break
+                    except TransactionAborted as exc:
+                        session.rollback()
+                        stats.record_abort(program, exc.reason, clock())
+                        if not policy.should_retry(exc, attempts):
+                            stats.record_giveup(program, clock())
+                            break
+                        stats.record_retry(program, clock())
+                        delay = policy.backoff(attempts, backoff_rng)
+                        if delay > 0:
+                            time.sleep(delay)
+                        if time.monotonic() >= deadline:
+                            stats.record_giveup(program, clock())
+                            break
 
-        threads = [
-            threading.Thread(target=worker, args=(client_id,), daemon=True)
+        failures: dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        def guarded(client_id: int) -> None:
+            try:
+                worker(client_id)
+            except BaseException as exc:  # noqa: BLE001 - reported after join
+                with failures_lock:
+                    failures[client_id] = exc
+
+        threads = {
+            client_id: threading.Thread(
+                target=guarded, args=(client_id,), daemon=True
+            )
             for client_id in range(config.mpl)
-        ]
-        for thread in threads:
+        }
+        for thread in threads.values():
             thread.start()
-        for thread in threads:
-            thread.join(timeout=config.ramp_up + config.duration + 60)
+        join_deadline = (
+            epoch + config.ramp_up + config.duration + config.join_grace
+        )
+        for thread in threads.values():
+            thread.join(timeout=max(0.0, join_deadline - time.monotonic()))
+        stuck = tuple(
+            client_id
+            for client_id, thread in threads.items()
+            if thread.is_alive()
+        )
+        if failures or stuck:
+            raise ThreadedDriverError(failures, stuck)
         return stats

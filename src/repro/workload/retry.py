@@ -1,0 +1,136 @@
+"""The unified retry/timeout policy shared by every closed-loop driver.
+
+The paper's driver protocol is "when a transaction aborts, the client
+immediately starts a new transaction" — an unbounded, zero-backoff retry
+loop.  :class:`RetryPolicy` generalizes that into an explicit, shared
+policy object:
+
+* **per-error-class retryability** — concurrency aborts
+  (:class:`~repro.errors.SerializationFailure` including SSI,
+  :class:`~repro.errors.DeadlockError`, :class:`~repro.errors.LockTimeout`,
+  injected :class:`~repro.errors.FaultInjected` aborts) are retryable;
+  business outcomes (:class:`~repro.errors.ApplicationRollback`) and
+  constraint violations (:class:`~repro.errors.IntegrityError`) are not —
+  retrying them would repeat the same deterministic failure;
+* **bounded attempts** — ``max_attempts`` caps how often one logical
+  request is retried before the driver *gives up* (recorded separately in
+  :class:`~repro.workload.stats.RunStats`);
+* **exponential backoff with jitter** — ``base_backoff`` doubles (by
+  ``multiplier``) per failed attempt up to ``max_backoff``; ``jitter``
+  adds a uniformly distributed fraction on top so synchronized retry
+  storms decorrelate (the standard "full jitter" refinement).
+
+The seed protocol — :meth:`RetryPolicy.paper_default` — is ``max_attempts=1``
+with no backoff: each abort surfaces immediately and the closed-loop client
+moves on to a fresh transaction, which reproduces the paper's figures
+bit-for-bit.  Both the threaded driver and the simulated client consume
+this module; only the ``sleep`` function differs (wall clock vs simulated
+time).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    ApplicationRollback,
+    DeadlockError,
+    FaultInjected,
+    IntegrityError,
+    LockTimeout,
+    SerializationFailure,
+)
+
+#: Default error-class split.  ``SerializationFailure`` covers ``SsiAbort``.
+DEFAULT_RETRYABLE: tuple[type, ...] = (
+    SerializationFailure,
+    DeadlockError,
+    LockTimeout,
+    FaultInjected,
+)
+DEFAULT_NON_RETRYABLE: tuple[type, ...] = (ApplicationRollback, IntegrityError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a driver retries one logical request after an abort.
+
+    ``max_attempts`` counts the first try: ``1`` means never retry in
+    place (the paper's protocol), ``4`` means up to three retries.
+    """
+
+    max_attempts: int = 1
+    base_backoff: float = 0.0
+    multiplier: float = 2.0
+    max_backoff: float = 0.1
+    jitter: float = 0.0
+    retryable: tuple[type, ...] = field(default=DEFAULT_RETRYABLE)
+    non_retryable: tuple[type, ...] = field(default=DEFAULT_NON_RETRYABLE)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_default(cls) -> "RetryPolicy":
+        """The seed protocol: every abort surfaces, client starts afresh."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def exponential(
+        cls,
+        max_attempts: int = 4,
+        base_backoff: float = 0.001,
+        max_backoff: float = 0.1,
+        jitter: float = 0.5,
+    ) -> "RetryPolicy":
+        """A production-style safe-retry policy (cf. PostgreSQL SSI docs)."""
+        return cls(
+            max_attempts=max_attempts,
+            base_backoff=base_backoff,
+            max_backoff=max_backoff,
+            jitter=jitter,
+        )
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether the error class permits retrying as a new transaction.
+
+        The non-retryable list wins on overlap, so subclass surprises
+        (e.g. a business error derived from an engine error) fail safe.
+        """
+        if isinstance(error, self.non_retryable):
+            return False
+        return isinstance(error, self.retryable)
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) may be followed by
+        another, given that it failed with ``error``."""
+        return attempt < self.max_attempts and self.is_retryable(error)
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay (seconds) before the attempt after ``attempt`` failures.
+
+        Deterministic when ``jitter`` is zero or no ``rng`` is supplied;
+        never draws from ``rng`` unless jitter actually applies, so
+        installing a zero-backoff policy perturbs no random stream.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if self.base_backoff <= 0:
+            return 0.0
+        delay = min(
+            self.base_backoff * self.multiplier ** (attempt - 1), self.max_backoff
+        )
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay

@@ -48,9 +48,23 @@ def mean_and_ci(values: Iterable[float], confidence: float = 0.95) -> tuple[floa
     return mean, half_width
 
 
+#: Abort reasons counted as "serialization-failure style" by
+#: :meth:`RunStats.abort_rate` (the paper's Figure 6 metric, extended with
+#: the lock-wait timeout introduced by the robustness layer).
+CONCURRENCY_ABORT_REASONS = ("serialization", "deadlock", "ssi", "lock-timeout")
+
+
 @dataclass
 class RunStats:
-    """Counters for one run's measurement window."""
+    """Counters for one run's measurement window.
+
+    Beyond the paper's commit/abort/rollback protocol, the retry layer
+    records how hard each commit was to achieve: ``retries`` counts
+    in-place retries per program, ``attempts_histogram`` buckets commits by
+    the number of attempts they needed, and ``giveups`` counts requests
+    abandoned after the :class:`~repro.workload.retry.RetryPolicy`
+    exhausted its attempts (or hit a non-retryable error).
+    """
 
     window_start: float
     window_end: float
@@ -59,16 +73,22 @@ class RunStats:
     rollbacks: Counter = field(default_factory=Counter)
     response_time_sum: float = 0.0
     response_time_count: int = 0
+    retries: Counter = field(default_factory=Counter)  # program -> retry count
+    attempts_histogram: Counter = field(default_factory=Counter)  # attempts -> commits
+    giveups: Counter = field(default_factory=Counter)  # program -> abandoned requests
 
     # ------------------------------------------------------------------
     def in_window(self, at: float) -> bool:
         return self.window_start <= at < self.window_end
 
-    def record_commit(self, program: str, response_time: float, at: float) -> None:
+    def record_commit(
+        self, program: str, response_time: float, at: float, attempts: int = 1
+    ) -> None:
         if self.in_window(at):
             self.commits[program] += 1
             self.response_time_sum += response_time
             self.response_time_count += 1
+            self.attempts_histogram[attempts] += 1
 
     def record_abort(self, program: str, reason: str, at: float) -> None:
         if self.in_window(at):
@@ -77,6 +97,14 @@ class RunStats:
     def record_rollback(self, program: str, at: float) -> None:
         if self.in_window(at):
             self.rollbacks[program] += 1
+
+    def record_retry(self, program: str, at: float) -> None:
+        if self.in_window(at):
+            self.retries[program] += 1
+
+    def record_giveup(self, program: str, at: float) -> None:
+        if self.in_window(at):
+            self.giveups[program] += 1
 
     # ------------------------------------------------------------------
     @property
@@ -115,13 +143,38 @@ class RunStats:
             count
             for (prog, reason), count in self.aborts.items()
             if (program is None or prog == program)
-            and reason in ("serialization", "deadlock", "ssi")
+            and reason in CONCURRENCY_ABORT_REASONS
         )
         commits = (
             self.total_commits if program is None else self.commits[program]
         )
         attempts = commits + aborts
         return aborts / attempts if attempts else 0.0
+
+    def abort_breakdown(self, program: Optional[str] = None) -> dict[str, int]:
+        """Abort counts keyed by reason tag (``serialization``, ``deadlock``,
+        ``ssi``, ``lock-timeout``, ``fault``, ...)."""
+        breakdown: dict[str, int] = {}
+        for (prog, reason), count in self.aborts.items():
+            if program is None or prog == program:
+                breakdown[reason] = breakdown.get(reason, 0) + count
+        return breakdown
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    @property
+    def total_giveups(self) -> int:
+        return sum(self.giveups.values())
+
+    def mean_attempts_per_commit(self) -> float:
+        """Average number of attempts each committed request needed."""
+        commits = sum(self.attempts_histogram.values())
+        if commits == 0:
+            return 0.0
+        total = sum(n * count for n, count in self.attempts_histogram.items())
+        return total / commits
 
 
 @dataclass

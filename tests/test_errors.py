@@ -6,8 +6,12 @@ import pytest
 
 from repro.errors import (
     ApplicationRollback,
+    DatabaseCrashed,
     DeadlockError,
     EngineError,
+    FaultInjected,
+    LockTimeout,
+    RecoveryError,
     ReproError,
     SerializationFailure,
     SsiAbort,
@@ -18,7 +22,13 @@ from repro.errors import (
 class TestHierarchy:
     def test_concurrency_aborts_share_a_base(self):
         """The workload driver catches TransactionAborted for retries."""
-        for error_type in (SerializationFailure, DeadlockError, SsiAbort):
+        for error_type in (
+            SerializationFailure,
+            DeadlockError,
+            SsiAbort,
+            LockTimeout,
+            FaultInjected,
+        ):
             assert issubclass(error_type, TransactionAborted)
             assert issubclass(error_type, EngineError)
             assert issubclass(error_type, ReproError)
@@ -40,6 +50,36 @@ class TestHierarchy:
             SsiAbort.reason,
         }
         assert reasons == {"serialization", "deadlock", "ssi"}
+
+    def test_robustness_abort_reasons_are_distinct(self):
+        """The abort-breakdown statistics key on the full reason set."""
+        reasons = {
+            SerializationFailure.reason,
+            DeadlockError.reason,
+            SsiAbort.reason,
+            LockTimeout.reason,
+            FaultInjected.reason,
+        }
+        assert reasons == {
+            "serialization",
+            "deadlock",
+            "ssi",
+            "lock-timeout",
+            "fault",
+        }
+
+    def test_lock_timeout_counts_as_concurrency_abort(self):
+        from repro.workload.stats import CONCURRENCY_ABORT_REASONS
+
+        assert LockTimeout.reason in CONCURRENCY_ABORT_REASONS
+        assert FaultInjected.reason not in CONCURRENCY_ABORT_REASONS
+
+    def test_crash_and_recovery_errors_are_not_aborts(self):
+        """A crashed database is not a retryable transaction outcome:
+        the request layer must not blindly begin a new transaction."""
+        for error_type in (DatabaseCrashed, RecoveryError):
+            assert issubclass(error_type, EngineError)
+            assert not issubclass(error_type, TransactionAborted)
 
     def test_application_rollback_default_message(self):
         assert "rollback" in str(ApplicationRollback())

@@ -1,0 +1,255 @@
+"""The unified retry layer: policy semantics and driver integration."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.errors import (
+    ApplicationRollback,
+    DeadlockError,
+    FaultInjected,
+    IntegrityError,
+    LockTimeout,
+    SerializationFailure,
+    SsiAbort,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.smallbank.transactions import SmallBankTransactions
+from repro.workload.driver import (
+    ThreadedDriver,
+    ThreadedDriverConfig,
+    ThreadedDriverError,
+)
+from repro.smallbank import PopulationConfig, build_database
+from repro.workload.retry import RetryPolicy
+
+
+# ----------------------------------------------------------------------
+# Policy semantics
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_paper_default_never_retries(self) -> None:
+        policy = RetryPolicy.paper_default()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(SerializationFailure("x"), 1)
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            SerializationFailure("x"),
+            DeadlockError("x"),
+            LockTimeout("x"),
+            FaultInjected("x"),
+            SsiAbort("x"),
+        ],
+    )
+    def test_concurrency_errors_are_retryable(self, error) -> None:
+        assert RetryPolicy.exponential().is_retryable(error)
+
+    @pytest.mark.parametrize(
+        "error", [ApplicationRollback("x"), IntegrityError("x")]
+    )
+    def test_business_errors_are_not_retryable(self, error) -> None:
+        assert not RetryPolicy.exponential().is_retryable(error)
+
+    def test_non_retryable_wins_on_overlap(self) -> None:
+        policy = RetryPolicy(
+            max_attempts=3,
+            retryable=(Exception,),
+            non_retryable=(IntegrityError,),
+        )
+        assert policy.is_retryable(SerializationFailure("x"))
+        assert not policy.is_retryable(IntegrityError("x"))
+
+    def test_should_retry_respects_max_attempts(self) -> None:
+        policy = RetryPolicy.exponential(max_attempts=3)
+        err = SerializationFailure("x")
+        assert policy.should_retry(err, 1)
+        assert policy.should_retry(err, 2)
+        assert not policy.should_retry(err, 3)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_progression_and_cap(self) -> None:
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_backoff=0.01,
+            multiplier=2.0,
+            max_backoff=0.05,
+            jitter=0.0,
+        )
+        rng = random.Random(1)
+        delays = [policy.backoff(n, rng) for n in range(1, 6)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]  # capped
+
+    def test_zero_base_backoff_draws_nothing(self) -> None:
+        """The default policy must not consume RNG state (bit-identical
+        seed figures depend on it)."""
+        policy = RetryPolicy.paper_default()
+        rng = random.Random(1)
+        before = rng.getstate()
+        assert policy.backoff(1, rng) == 0.0
+        assert rng.getstate() == before
+
+    def test_jitter_bounds(self) -> None:
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff=0.01, jitter=0.5, max_backoff=1.0
+        )
+        rng = random.Random(7)
+        for attempt in range(1, 5):
+            base = 0.01 * 2.0 ** (attempt - 1)
+            for _ in range(20):
+                delay = policy.backoff(attempt, rng)
+                assert base <= delay <= base * 1.5
+
+
+# ----------------------------------------------------------------------
+# Threaded driver integration: deterministic retry accounting
+# ----------------------------------------------------------------------
+def smallbank_db():
+    return build_database(None, PopulationConfig(customers=10, seed=1))
+
+
+def run_driver(db, *, retry=None, mpl=1, duration=0.5):
+    driver = ThreadedDriver(
+        db,
+        SmallBankTransactions(),
+        ThreadedDriverConfig(
+            mpl=mpl,
+            customers=10,
+            hotspot=3,
+            duration=duration,
+            join_grace=10.0,
+            retry=retry,
+        ),
+    )
+    return driver.run()
+
+
+def test_driver_retries_until_fault_exhausted() -> None:
+    """abort-at-commit fires 3 times; a 5-attempt policy rides them out:
+    exactly one commit needs 4 attempts, everything else needs 1."""
+    db = smallbank_db()
+    db.install_faults(
+        FaultPlan([FaultSpec("abort-at-commit", max_fires=3)])
+    )
+    stats = run_driver(db, retry=RetryPolicy.exponential(max_attempts=5))
+
+    assert stats.abort_breakdown().get("fault", 0) == 3
+    assert stats.total_retries == 3
+    assert stats.total_giveups == 0
+    assert stats.attempts_histogram[4] == 1
+    assert stats.mean_attempts_per_commit() > 1.0
+    assert stats.total_commits > 0
+
+
+def test_driver_gives_up_when_attempts_exhausted() -> None:
+    """With max_attempts=2 and 5 forced aborts: requests 1 and 2 burn two
+    attempts each and give up; request 3 aborts once, then commits."""
+    db = smallbank_db()
+    db.install_faults(
+        FaultPlan([FaultSpec("abort-at-commit", max_fires=5)])
+    )
+    stats = run_driver(db, retry=RetryPolicy.exponential(max_attempts=2))
+
+    assert stats.abort_breakdown().get("fault", 0) == 5
+    assert stats.total_giveups == 2
+    assert stats.total_retries == 3
+    assert stats.attempts_histogram[2] == 1  # request 3 committed on retry
+
+
+def test_driver_default_policy_surfaces_every_abort() -> None:
+    db = smallbank_db()
+    db.install_faults(
+        FaultPlan([FaultSpec("abort-at-commit", max_fires=2)])
+    )
+    stats = run_driver(db)  # paper default: no in-place retries
+
+    assert stats.total_retries == 0
+    assert stats.total_giveups == 2
+    assert stats.abort_breakdown().get("fault", 0) == 2
+    assert set(stats.attempts_histogram) <= {1}
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes: session release on rollback, no silent worker death
+# ----------------------------------------------------------------------
+class Rollbacky(SmallBankTransactions):
+    """Every request raises a business rollback mid-transaction while
+    holding a row lock — the session-leak regression case."""
+
+    def run(self, session, program, args, *, commit=True):
+        session.begin(program)
+        session.update("Saving", 1, {"Balance": 1.0})
+        raise ApplicationRollback("declined")
+
+
+def test_application_rollback_releases_the_session() -> None:
+    db = smallbank_db()
+    driver = ThreadedDriver(
+        db,
+        Rollbacky(),
+        ThreadedDriverConfig(
+            mpl=2, customers=10, hotspot=3, duration=0.3, join_grace=10.0
+        ),
+    )
+    stats = driver.run()
+    # Before the fix the first rollback leaked its transaction: Saving 1
+    # stayed locked, both workers wedged, and active txns lingered.
+    assert db.active_transactions == ()
+    assert sum(stats.rollbacks.values()) > 2
+
+
+class Exploding(SmallBankTransactions):
+    def run(self, session, program, args, *, commit=True):
+        raise RuntimeError("boom")
+
+
+def test_worker_death_is_reported_not_silent() -> None:
+    db = smallbank_db()
+    driver = ThreadedDriver(
+        db,
+        Exploding(),
+        ThreadedDriverConfig(
+            mpl=2, customers=10, hotspot=3, duration=0.2, join_grace=10.0
+        ),
+    )
+    with pytest.raises(ThreadedDriverError) as excinfo:
+        driver.run()
+    assert set(excinfo.value.failures) == {0, 1}
+    assert all(
+        isinstance(exc, RuntimeError) for exc in excinfo.value.failures.values()
+    )
+    assert "boom" in str(excinfo.value)
+
+
+class Sleepy(SmallBankTransactions):
+    def run(self, session, program, args, *, commit=True):
+        time.sleep(2.0)
+        raise ApplicationRollback("too slow")
+
+
+def test_stuck_worker_is_reported() -> None:
+    db = smallbank_db()
+    driver = ThreadedDriver(
+        db,
+        Sleepy(),
+        ThreadedDriverConfig(
+            mpl=1, customers=10, hotspot=3, duration=0.1, join_grace=0.2
+        ),
+    )
+    with pytest.raises(ThreadedDriverError) as excinfo:
+        driver.run()
+    assert excinfo.value.stuck == (0,)
+    assert "still alive" in str(excinfo.value)
