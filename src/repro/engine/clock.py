@@ -38,6 +38,17 @@ class LogicalClock:
         """The most recently issued timestamp (0 if none issued yet)."""
         return self._last
 
+    def peek_next(self) -> int:
+        """The timestamp the next :meth:`next` call will issue.
+
+        Used by the engine's commit protocol to *reserve* a commit
+        timestamp: versions are published carrying ``peek_next()`` and only
+        become visible once the covering tick is actually issued.  The
+        caller must hold the engine's commit mutex so no other tick (a
+        begin or another commit) can slip between the peek and the tick.
+        """
+        return self._last + 1
+
     def advance_to(self, ts: int) -> None:
         """Ensure future timestamps are strictly greater than ``ts``.
 

@@ -27,6 +27,50 @@ Concurrency-control semantics implemented here (see
 * **S2PL** takes shared locks for reads and exclusive locks for writes,
   all held to the end of the transaction; there is no snapshot.
 * **SSI** layers the runtime dangerous-structure certifier over SI.
+
+Threading model (DESIGN.md §9)
+------------------------------
+
+The engine used to serialize *every* operation behind one re-entrant
+mutex.  It now uses a two-level scheme that leaves the SI read path
+entirely lock-free:
+
+* **SI/SSI reads take no lock at all.**  They traverse only structures
+  that are published atomically and never mutated in place: version
+  chains (append-only lists of frozen :class:`Version` objects), the
+  tables' key dictionaries (CPython dict get/set are atomic under the
+  GIL), copy-on-write index tuples and the sorted-key cache.  The commit
+  protocol below guarantees a reader can never observe a version whose
+  commit timestamp its snapshot covers *partially*.
+* **A small commit mutex** (``_commit_mutex``) serializes the events that
+  define the global timestamp order: ``begin`` (snapshot acquisition),
+  commit validation + version publication, abort, the waits-for graph,
+  and :meth:`vacuum`.
+* **N stripe latches** (``config.stripes``) hash ``(table, key)`` row ids
+  onto a small lock array.  They serialize lock-manager operations on a
+  row (``try_acquire`` vs ``release_one``) and in-place chain mutation by
+  the *owning* writer (creating the chain, staging the uncommitted
+  version).  Writers therefore contend only when their rows share a
+  stripe, never on a global lock.
+
+Lock ordering: the commit mutex may be taken alone or *before* a stripe
+latch (commit/abort release row locks per-stripe while holding it); a
+stripe latch is never held while acquiring the commit mutex, and stripes
+are never nested.
+
+Snapshot-consistent publication: a committing transaction *reserves*
+``commit_ts = clock.peek_next()`` under the commit mutex, publishes its
+versions carrying that timestamp, and only then ticks the clock.  Every
+snapshot in existence satisfies ``snapshot_ts <= clock.last < commit_ts``,
+so the in-flight versions are invisible until the tick makes them
+atomically visible; ``begin`` also runs under the commit mutex, so no new
+snapshot can land between the reservation and the tick.
+
+Group commit: the WAL record is *staged* under the commit mutex (fixing
+its position in the log) but appended + flushed outside it, batched with
+any records staged by commits racing right behind
+(:class:`~repro.engine.wal.GroupCommitBuffer`).  ``commit`` still returns
+only after the record is durable.
 """
 
 from __future__ import annotations
@@ -47,18 +91,19 @@ from repro.engine.ssi import SsiCertifier
 from repro.engine.storage import Catalog, Table, TableSchema
 from repro.engine.transaction import OWN_WRITE, Transaction, TxnStatus
 from repro.engine.versions import UncommittedVersion, Version, freeze_row
-from repro.engine.wal import WalRecord, WriteAheadLog
+from repro.engine.wal import GroupCommitBuffer, WalRecord, WriteAheadLog
 from repro.errors import (
     DatabaseCrashed,
     FaultInjected,
     IntegrityError,
     SerializationFailure,
     SsiAbort,
-    TransactionStateError,
 )
 from repro.faults import FaultPlan
 
 Row = Mapping[str, object]
+
+_ACTIVE = TxnStatus.ACTIVE
 
 
 @dataclass(frozen=True)
@@ -113,7 +158,21 @@ class Database:
         self.locks = LockManager(lock_timeout=self.config.lock_timeout)
         self.wal = WriteAheadLog()
         self.faults = faults
-        self._mutex = threading.RLock()
+        # Serializes begin / commit / abort / waits-for-graph mutation —
+        # everything that defines the global timestamp order.  Re-entrant
+        # because abort paths nest inside commit paths.
+        self._commit_mutex = threading.RLock()
+        # Row-latch stripes: hash((table, key)) picks one.  See the module
+        # docstring for the lock ordering rules.
+        self._nstripes = self.config.stripes
+        self._stripes = tuple(threading.Lock() for _ in range(self._nstripes))
+        self._group_commit = GroupCommitBuffer()
+        # Hot-path accelerators: the isolation test and the table lookup
+        # run on every read, so resolve them to one attribute/dict probe.
+        # _table_map aliases the catalog's own (mutable) mapping, so tables
+        # added later are seen here too.
+        self._s2pl = self.config.isolation is IsolationLevel.S2PL
+        self._table_map = self.catalog._tables
         self._active: dict[int, Transaction] = {}
         self._observers = list(observers or [])
         self._ssi = SsiCertifier() if self.config.isolation is IsolationLevel.SSI else None
@@ -122,6 +181,9 @@ class Database:
         # Bootstrap rows double as the recovery checkpoint: load_row data
         # is "already on disk" and survives crashes without a WAL record.
         self._bootstrap: list[tuple[str, dict[str, object]]] = []
+
+    def _stripe(self, row_id: RowId) -> threading.Lock:
+        return self._stripes[hash(row_id) % self._nstripes]
 
     # ------------------------------------------------------------------
     # Bootstrap loading (outside any transaction)
@@ -133,7 +195,7 @@ class Database:
         Used by benchmark population so that loading cost never pollutes
         measurements.
         """
-        with self._mutex:
+        with self._commit_mutex:
             self._ensure_not_crashed()
             table = self.catalog.table(table_name)
             value = table.schema.validate_row(row)
@@ -155,7 +217,7 @@ class Database:
 
     def install_faults(self, plan: "FaultPlan | None") -> None:
         """Install (or clear) the fault-injection plan."""
-        with self._mutex:
+        with self._commit_mutex:
             self.faults = plan
 
     # ------------------------------------------------------------------
@@ -174,12 +236,17 @@ class Database:
         subsequent operation raises :class:`~repro.errors.DatabaseCrashed`
         until :meth:`recover` produces a fresh instance.
         """
-        with self._mutex:
+        with self._commit_mutex:
             self._crash_locked()
 
     def _crash_locked(self) -> None:
         self._crashed = True
         self._active.clear()
+        # Records staged for group commit were never flushed: spill them
+        # into the volatile tail so the truncation below discards them —
+        # their committers learn the commit was lost when their sync sees
+        # the record gone (GroupCommitBuffer.sync raises DatabaseCrashed).
+        self._group_commit.spill_unflushed(self.wal)
         self.wal.truncate_to_flushed()
 
     def recover(self) -> "Database":
@@ -204,7 +271,7 @@ class Database:
     # Transaction lifecycle
     # ------------------------------------------------------------------
     def begin(self, label: str = "") -> Transaction:
-        with self._mutex:
+        with self._commit_mutex:
             self._ensure_not_crashed()
             self._txid_counter += 1
             txn = Transaction(
@@ -217,7 +284,7 @@ class Database:
 
     @property
     def active_transactions(self) -> tuple[Transaction, ...]:
-        with self._mutex:
+        with self._commit_mutex:
             return tuple(self._active.values())
 
     # ------------------------------------------------------------------
@@ -228,23 +295,72 @@ class Database:
     ) -> "Row | None | WaitOn":
         """Read one row by primary key.
 
-        Under SI this never blocks.  Under S2PL it may return
-        :class:`WaitOn` when the shared lock conflicts with a writer.
+        Under SI this never blocks *and takes no lock*: the body below is
+        the engine's hottest path and touches only atomically-published
+        immutable state (see the module docstring).  It is deliberately
+        flat — the per-read cost budget is well under a microsecond.
+        Under S2PL it may return :class:`WaitOn` when the shared lock
+        conflicts with a writer.
         """
-        with self._mutex:
+        if self._s2pl:
+            return self._read_s2pl(txn, table_name, key)
+        if self._crashed:
             self._ensure_not_crashed()
+        if txn.status is not _ACTIVE:
             txn.ensure_active()
+        ssi = self._ssi
+        if ssi is not None and ssi.is_doomed(txn):
             self._check_doomed(txn)
-            table = self.catalog.table(table_name)
-            row_id: RowId = (table_name, key)
-            if self.config.isolation is IsolationLevel.S2PL:
+        row_id = (table_name, key)
+        reads = txn.reads
+        writes = txn.writes
+        if row_id in writes:
+            if row_id not in reads:
+                reads[row_id] = OWN_WRITE
+            return writes[row_id]
+        table = self._table_map.get(table_name)
+        if table is None:
+            self.catalog.table(table_name)  # raises SchemaError
+        chain = table.rows.get(key)
+        # Inlined VersionChain.visible(): newest committed version at or
+        # below the snapshot.  _committed is append-only and replaced (not
+        # mutated) by vacuum, so iterating it lock-free is safe; a
+        # tombstone's value is None, which doubles as "row absent".
+        value = None
+        version_ts = 0
+        if chain is not None:
+            snapshot_ts = txn.snapshot_ts
+            for version in reversed(chain._committed):
+                if version.commit_ts <= snapshot_ts:
+                    value = version.value
+                    version_ts = version.commit_ts
+                    break
+        if row_id not in reads:
+            reads[row_id] = version_ts
+        if ssi is not None:
+            ssi.on_read(txn, row_id, self)
+        return value
+
+    def _read_s2pl(
+        self, txn: Transaction, table_name: str, key: Hashable
+    ) -> "Row | None | WaitOn":
+        """S2PL read: share-lock the row (per-stripe), read latest."""
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        table = self.catalog.table(table_name)
+        row_id: RowId = (table_name, key)
+        while True:
+            with self._stripe(row_id):
                 blockers = self.locks.try_acquire(
                     txn.txid, row_id, LockMode.SHARED
                 )
-                if blockers:
-                    return self._wait_on(blockers)
+            if not blockers:
                 return self._read_latest(txn, table, row_id)
-            return self._read_snapshot(txn, table, row_id)
+            wait = self._wait_on(blockers)
+            if wait is not None:
+                return wait
+            # Every blocker resolved between the failed acquire and the
+            # lookup: just retry the acquire.
 
     def lookup_unique(
         self, txn: Transaction, table_name: str, column: str, value: Hashable
@@ -253,27 +369,27 @@ class Database:
 
         Records a predicate read (the lookup's result set may be changed by
         concurrent inserts/deletes — a phantom source).  Under S2PL the
-        matched row is share-locked.
+        matched row is share-locked.  Lock-free under SI: the superset
+        index is a copy-on-write tuple per value.
         """
-        with self._mutex:
-            self._ensure_not_crashed()
-            txn.ensure_active()
-            self._check_doomed(txn)
-            table = self.catalog.table(table_name)
-            snapshot = self._read_horizon(txn)
-            found = table.lookup_unique(column, value, snapshot)
-            txn.record_predicate(
-                table_name,
-                f"{column} = {value!r}",
-                (found[0],) if found else (),
-            )
-            if found is None:
-                return None
-            key, _ = found
-            result = self.read(txn, table_name, key)
-            if isinstance(result, WaitOn) or result is None:
-                return result
-            return key, result
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        self._check_doomed(txn)
+        table = self.catalog.table(table_name)
+        snapshot = self._read_horizon(txn)
+        found = table.lookup_unique(column, value, snapshot)
+        txn.record_predicate(
+            table_name,
+            f"{column} = {value!r}",
+            (found[0],) if found else (),
+        )
+        if found is None:
+            return None
+        key, _ = found
+        result = self.read(txn, table_name, key)
+        if isinstance(result, WaitOn) or result is None:
+            return result
+        return key, result
 
     def scan(
         self,
@@ -286,18 +402,30 @@ class Database:
 
         Under S2PL every matched row is share-locked (predicate locking
         itself is not modelled; the workloads here never insert during a
-        measurement run, which the analysis layer checks).
+        measurement run, which the analysis layer checks).  Key order
+        comes from the table's sorted-key cache instead of re-sorting on
+        every call.
         """
-        with self._mutex:
-            self._ensure_not_crashed()
-            txn.ensure_active()
-            self._check_doomed(txn)
-            table = self.catalog.table(table_name)
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        self._check_doomed(txn)
+        table = self.catalog.table(table_name)
+        s2pl = self._s2pl
+        while True:
             snapshot = self._read_horizon(txn)
-            keys = set(table.keys())
-            keys.update(k for tn, k in txn.writes if tn == table_name)
+            keys: "tuple[Hashable, ...] | list[Hashable]" = table.sorted_keys()
+            # Own writes always have a chain (write() creates it), so the
+            # cache already covers them; the guard below only fires if that
+            # invariant is ever broken.
+            extra = [
+                k
+                for tn, k in txn.writes
+                if tn == table_name and k not in table.rows
+            ]
+            if extra:
+                keys = sorted([*keys, *extra], key=repr)
             matches: list[tuple[Hashable, Row]] = []
-            for key in sorted(keys, key=repr):
+            for key in keys:
                 row_id = (table_name, key)
                 if row_id in txn.writes:
                     merged = txn.writes[row_id]
@@ -308,24 +436,29 @@ class Database:
                 if predicate is not None and not predicate(merged):
                     continue
                 matches.append((key, merged))
-            if self.config.isolation is IsolationLevel.S2PL:
-                blockers: set[Transaction] = set()
-                for key, _ in matches:
-                    conflict = self.locks.try_acquire(
-                        txn.txid, (table_name, key), LockMode.SHARED
-                    )
-                    for txid in conflict:
-                        blocker = self._active.get(txid)
-                        if blocker is not None:
-                            blockers.add(blocker)
-                if blockers:
-                    return WaitOn(frozenset(blockers))
-            txn.record_predicate(
-                table_name, description, tuple(key for key, _ in matches)
-            )
+            if not s2pl:
+                break
+            blocker_ids: set[int] = set()
             for key, _ in matches:
-                self._record_item_read(txn, table, (table_name, key))
-            return matches
+                row_id = (table_name, key)
+                with self._stripe(row_id):
+                    conflict = self.locks.try_acquire(
+                        txn.txid, row_id, LockMode.SHARED
+                    )
+                blocker_ids.update(conflict)
+            if not blocker_ids:
+                break
+            wait = self._wait_on(frozenset(blocker_ids))
+            if wait is not None:
+                return wait
+            # All blockers resolved already: rescan (their commits may have
+            # changed the match set) and re-attempt the locks.
+        txn.record_predicate(
+            table_name, description, tuple(key for key, _ in matches)
+        )
+        for key, _ in matches:
+            self._record_item_read(txn, table, (table_name, key))
+        return matches
 
     def select_for_update(
         self, txn: Transaction, table_name: str, key: Hashable
@@ -337,25 +470,32 @@ class Database:
         state.  In ``CC_WRITE`` mode the row is additionally added to the
         transaction's concurrency-control write set.
         """
-        with self._mutex:
-            self._ensure_not_crashed()
-            txn.ensure_active()
-            self._check_doomed(txn)
-            table = self.catalog.table(table_name)
-            row_id: RowId = (table_name, key)
-            blockers = self.locks.try_acquire(
-                txn.txid, row_id, LockMode.EXCLUSIVE
-            )
-            if blockers:
-                return self._wait_on(blockers)
-            if self.config.isolation is not IsolationLevel.S2PL:
-                self._check_write_conflict(txn, table, key, row_id)
-            txn.sfu_rows.add(row_id)
-            if self.config.sfu is SfuSemantics.CC_WRITE:
-                txn.cc_writes.add(row_id)
-            if self.config.isolation is IsolationLevel.S2PL:
-                return self._read_latest(txn, table, row_id)
-            return self._read_snapshot(txn, table, row_id)
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        self._check_doomed(txn)
+        table = self.catalog.table(table_name)
+        row_id: RowId = (table_name, key)
+        while True:
+            with self._stripe(row_id):
+                blockers = self.locks.try_acquire(
+                    txn.txid, row_id, LockMode.EXCLUSIVE
+                )
+            if not blockers:
+                break
+            wait = self._wait_on(blockers)
+            if wait is not None:
+                return wait
+        # Holding the exclusive lock pins the chain tip and the SFU mark:
+        # any competing writer must first get this lock, and a committer
+        # publishes before releasing it.
+        if self.config.isolation is not IsolationLevel.S2PL:
+            self._check_write_conflict(txn, table, key, row_id)
+        txn.sfu_rows.add(row_id)
+        if self.config.sfu is SfuSemantics.CC_WRITE:
+            txn.cc_writes.add(row_id)
+        if self.config.isolation is IsolationLevel.S2PL:
+            return self._read_latest(txn, table, row_id)
+        return self._read_snapshot(txn, table, row_id)
 
     # ------------------------------------------------------------------
     # Writes
@@ -372,56 +512,65 @@ class Database:
         Returns ``WaitOn`` when blocked behind another writer; raises
         :class:`SerializationFailure` on a first-updater-wins conflict.
         The value becomes visible to other transactions only at commit.
+        Writers synchronize per-stripe — two writers contend only when
+        their rows hash to the same stripe.
         """
-        with self._mutex:
-            self._ensure_not_crashed()
-            txn.ensure_active()
-            self._check_doomed(txn)
-            table = self.catalog.table(table_name)
-            if value is not None:
-                value = table.schema.validate_row(value)
-                if value[table.schema.primary_key] != key:
-                    raise IntegrityError(
-                        f"row primary key {value[table.schema.primary_key]!r} "
-                        f"does not match write target {key!r}"
-                    )
-            row_id: RowId = (table_name, key)
-            blockers = self.locks.try_acquire(
-                txn.txid, row_id, LockMode.EXCLUSIVE
-            )
-            if blockers:
-                return self._wait_on(blockers)
-            if self.config.isolation is not IsolationLevel.S2PL:
-                if self.config.write_conflict is WriteConflictPolicy.FIRST_UPDATER_WINS:
-                    self._check_write_conflict(txn, table, key, row_id)
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        self._check_doomed(txn)
+        table = self.catalog.table(table_name)
+        if value is not None:
+            value = table.schema.validate_row(value)
+            if value[table.schema.primary_key] != key:
+                raise IntegrityError(
+                    f"row primary key {value[table.schema.primary_key]!r} "
+                    f"does not match write target {key!r}"
+                )
+        row_id: RowId = (table_name, key)
+        stripe = self._stripe(row_id)
+        while True:
+            with stripe:
+                blockers = self.locks.try_acquire(
+                    txn.txid, row_id, LockMode.EXCLUSIVE
+                )
+            if not blockers:
+                break
+            wait = self._wait_on(blockers)
+            if wait is not None:
+                return wait
+        if self.config.isolation is not IsolationLevel.S2PL:
+            if self.config.write_conflict is WriteConflictPolicy.FIRST_UPDATER_WINS:
+                # The exclusive lock pins the chain tip (see the commit
+                # protocol), so this check is race-free without the mutex.
+                self._check_write_conflict(txn, table, key, row_id)
+        frozen = freeze_row(value)
+        with stripe:
             chain = table.chain_or_create(key)
-            frozen = freeze_row(value)
             chain.uncommitted = UncommittedVersion(txn.txid, frozen)
-            txn.record_write(row_id, frozen)
-            if self._ssi is not None:
-                self._ssi.on_write(txn, row_id)
-                self._check_doomed(txn)
-            return None
+        txn.record_write(row_id, frozen)
+        if self._ssi is not None:
+            self._ssi.on_write(txn, row_id)
+            self._check_doomed(txn)
+        return None
 
     def insert(
         self, txn: Transaction, table_name: str, value: Row
     ) -> "None | WaitOn":
         """Insert a new row; duplicate (visible) keys raise IntegrityError."""
-        with self._mutex:
-            self._ensure_not_crashed()
-            txn.ensure_active()
-            table = self.catalog.table(table_name)
-            value = table.schema.validate_row(value)
-            key = value[table.schema.primary_key]
-            row_id: RowId = (table_name, key)
-            existing = self._apply_own_write(
-                txn, row_id, table.visible_row(key, self._read_horizon(txn))
+        self._ensure_not_crashed()
+        txn.ensure_active()
+        table = self.catalog.table(table_name)
+        value = table.schema.validate_row(value)
+        key = value[table.schema.primary_key]
+        row_id: RowId = (table_name, key)
+        existing = self._apply_own_write(
+            txn, row_id, table.visible_row(key, self._read_horizon(txn))
+        )
+        if existing is not None:
+            raise IntegrityError(
+                f"duplicate primary key {key!r} in {table_name!r}"
             )
-            if existing is not None:
-                raise IntegrityError(
-                    f"duplicate primary key {key!r} in {table_name!r}"
-                )
-            return self.write(txn, table_name, key, value)
+        return self.write(txn, table_name, key, value)
 
     def delete(
         self, txn: Transaction, table_name: str, key: Hashable
@@ -437,9 +586,16 @@ class Database:
         Raises :class:`SerializationFailure` (after aborting the
         transaction) when first-committer-wins validation or the SSI
         certifier rejects it.
+
+        The critical section covers validation, timestamping and version
+        publication only; the WAL append + flush happen *after* the commit
+        mutex is released, batched by :class:`GroupCommitBuffer` (the
+        record's log position is fixed by staging it under the mutex).
+        ``commit`` returns only once the record is durable.
         """
         callbacks: list[Callable[[Transaction], None]]
-        with self._mutex:
+        record: Optional[WalRecord] = None
+        with self._commit_mutex:
             self._ensure_not_crashed()
             txn.ensure_active()
             if self.faults is not None and self.faults.should_fire("abort-at-commit"):
@@ -463,13 +619,31 @@ class Database:
                     callbacks = txn.drain_callbacks()
                     self._fire(callbacks, txn)
                     raise SerializationFailure(conflict)
-            commit_ts = self.clock.next()
+            # Reserve the commit timestamp without ticking the clock yet:
+            # every live snapshot has snapshot_ts <= clock.last < commit_ts,
+            # so the versions published below stay invisible until the tick.
+            commit_ts = self.clock.peek_next()
+            if txn.writes:
+                # Validate every unique constraint BEFORE publishing
+                # anything: a violation must leave no versions behind (and
+                # consume no timestamp).  ``staged`` lets validation see the
+                # transaction's own writes to other rows.
+                staged_by_table: dict[
+                    str, dict[Hashable, Optional[Row]]
+                ] = {}
+                for (tn, k), v in txn.writes.items():
+                    staged_by_table.setdefault(tn, {})[k] = v
+                for row_id in txn.write_order:
+                    tn, key = row_id
+                    self.catalog.table(tn).check_unique_on_commit(
+                        key, txn.writes[row_id], commit_ts,
+                        staged=staged_by_table[tn],
+                    )
             txn.commit_ts = commit_ts
             for row_id in txn.write_order:
                 table_name, key = row_id
                 table = self.catalog.table(table_name)
                 value = txn.writes[row_id]
-                table.check_unique_on_commit(key, value, commit_ts)
                 chain = table.chain_or_create(key)
                 version = Version(commit_ts=commit_ts, txid=txn.txid, value=value)
                 chain.append_committed(version)
@@ -479,43 +653,51 @@ class Database:
             for table_name, key in txn.cc_writes:
                 table = self.catalog.table(table_name)
                 table.cc_write_ts[key] = commit_ts
+            issued = self.clock.next()  # the tick that makes it all visible
+            assert issued == commit_ts, "commit tick raced the reservation"
             if txn.writes:
-                self.wal.append(
-                    WalRecord(
-                        commit_ts=commit_ts,
-                        txid=txn.txid,
-                        label=txn.label,
-                        rows=tuple(txn.write_order),
-                        redo=tuple(
-                            (row_id, txn.writes[row_id])
-                            for row_id in txn.write_order
-                        ),
-                    )
+                record = WalRecord(
+                    commit_ts=commit_ts,
+                    txid=txn.txid,
+                    label=txn.label,
+                    rows=tuple(txn.write_order),
+                    redo=tuple(
+                        (row_id, txn.writes[row_id])
+                        for row_id in txn.write_order
+                    ),
                 )
+                self._group_commit.stage(record)
                 if self.faults is not None and self.faults.should_fire(
                     "crash-mid-commit"
                 ):
                     # Power fails after the record is staged but before the
                     # flush: the commit is NOT durable and must vanish on
                     # recovery, even though versions were already published
-                    # in (now lost) memory.
+                    # in (now lost) memory.  _crash_locked spills the staged
+                    # records into the volatile tail and truncates it away.
                     self._crash_locked()
                     raise DatabaseCrashed(
                         f"crash injected during commit of txn {txn.txid} "
                         f"({txn.label}): WAL record staged but not flushed"
                     )
-                self.wal.flush()
             txn.status = TxnStatus.COMMITTED
             self._active.pop(txn.txid, None)
-            self.locks.release_all(txn.txid)
+            self._release_locks(txn.txid)
             if self._ssi is not None:
                 self._ssi.on_resolve(txn, self._active.values())
             callbacks = txn.drain_callbacks()
-        self._fire(callbacks, txn)
+        try:
+            if record is not None:
+                # Durability point: batch-flush outside the critical
+                # section.  Raises DatabaseCrashed if a concurrent injected
+                # crash discarded the staged record — the commit was lost.
+                self._group_commit.sync(self.wal, record)
+        finally:
+            self._fire(callbacks, txn)
 
     def abort(self, txn: Transaction) -> None:
         """Abort ``txn``: drop uncommitted versions, release locks."""
-        with self._mutex:
+        with self._commit_mutex:
             if txn.status is not TxnStatus.ACTIVE:
                 return
             self._abort_locked(txn)
@@ -523,6 +705,10 @@ class Database:
         self._fire(callbacks, txn)
 
     def _abort_locked(self, txn: Transaction) -> None:
+        # The aborting transaction still holds its row locks, so nobody
+        # else can be staging an uncommitted version on these chains; the
+        # clear is an atomic store that lock-free readers simply never
+        # look at (readers only traverse committed versions).
         for row_id in txn.write_order:
             table_name, key = row_id
             chain = self.catalog.table(table_name).chain(key)
@@ -534,9 +720,47 @@ class Database:
                 chain.uncommitted = None
         txn.status = TxnStatus.ABORTED
         self._active.pop(txn.txid, None)
-        self.locks.release_all(txn.txid)
+        self._release_locks(txn.txid)
         if self._ssi is not None:
             self._ssi.on_resolve(txn, self._active.values())
+
+    def _release_locks(self, txid: int) -> None:
+        """Release all row locks per-stripe (commit mutex held).
+
+        Each row's release happens under its stripe latch so a concurrent
+        ``try_acquire`` on another thread observes either the held or the
+        fully-released entry, never a partial state.
+        """
+        for row in sorted(self.locks.rows_held_by(txid), key=repr):
+            with self._stripe(row):
+                self.locks.release_one(txid, row)
+        self.locks.finish_release(txid)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def vacuum(self) -> int:
+        """Prune version-chain history no live snapshot can still see.
+
+        Keeps, for every chain, the newest version at or below the oldest
+        active snapshot (that version is exactly what such a snapshot
+        reads) plus everything newer; returns the number of versions
+        dropped.  Runs under the commit mutex, so no snapshot older than
+        the horizon can appear mid-prune and no commit can publish
+        concurrently; in-flight lock-free readers are safe because pruning
+        *replaces* each chain's version list rather than mutating it.
+        """
+        with self._commit_mutex:
+            self._ensure_not_crashed()
+            if self._active:
+                horizon = min(t.snapshot_ts for t in self._active.values())
+            else:
+                horizon = self.clock.last
+            pruned = 0
+            for table in self.catalog:
+                for chain in table.rows.values():
+                    pruned += chain.prune(horizon)
+            return pruned
 
     # ------------------------------------------------------------------
     # Waiting support (used by sessions)
@@ -547,7 +771,7 @@ class Database:
         On a deadlock the transaction is aborted before the error
         propagates, matching server behaviour.
         """
-        with self._mutex:
+        with self._commit_mutex:
             try:
                 self.locks.begin_wait(txn.txid, wait.blocker_ids)
             except Exception:
@@ -557,7 +781,7 @@ class Database:
                 raise
 
     def end_wait(self, txn: Transaction) -> None:
-        with self._mutex:
+        with self._commit_mutex:
             self.locks.end_wait(txn.txid)
 
     # ------------------------------------------------------------------
@@ -565,7 +789,7 @@ class Database:
     # ------------------------------------------------------------------
     def _read_horizon(self, txn: Transaction) -> int:
         """Timestamp bound for reads: snapshot under SI, 'now' under S2PL."""
-        if self.config.isolation is IsolationLevel.S2PL:
+        if self._s2pl:
             return self.clock.last + 1
         return txn.snapshot_ts
 
@@ -579,9 +803,9 @@ class Database:
         chain = table.chain(key)
         version = chain.visible(txn.snapshot_ts) if chain is not None else None
         if version is None:
-            self._record_read(txn, row_id, 0, table)
+            self._record_read(txn, row_id, 0)
             return None
-        self._record_read(txn, row_id, version.commit_ts, table)
+        self._record_read(txn, row_id, version.commit_ts)
         return None if version.is_tombstone else version.value
 
     def _read_latest(
@@ -601,7 +825,7 @@ class Database:
         return None if version.is_tombstone else version.value
 
     def _record_read(
-        self, txn: Transaction, row_id: RowId, version_ts: int, table: Table
+        self, txn: Transaction, row_id: RowId, version_ts: int
     ) -> None:
         txn.record_read(row_id, version_ts)
         if self._ssi is not None:
@@ -617,7 +841,7 @@ class Database:
         version = (
             chain.visible(self._read_horizon(txn)) if chain is not None else None
         )
-        self._record_read(txn, row_id, version.commit_ts if version else 0, table)
+        self._record_read(txn, row_id, version.commit_ts if version else 0)
 
     def _apply_own_write(
         self, txn: Transaction, row_id: RowId, committed: Optional[Row]
@@ -632,8 +856,10 @@ class Database:
         """First-updater-wins snapshot check (also used for SFU).
 
         Called with the exclusive lock already granted, so the newest
-        committed version is stable.  A version (or commercial SFU mark)
-        newer than our snapshot means a concurrent transaction already won.
+        committed version is stable: a competing writer would need this
+        lock first, and a committer publishes its version (and SFU mark)
+        before releasing it.  A version newer than our snapshot means a
+        concurrent transaction already won.
         """
         chain = table.chain(key)
         newest = chain.latest_commit_ts() if chain is not None else 0
@@ -654,9 +880,11 @@ class Database:
             )
 
     def _fail_serialization(self, txn: Transaction, message: str) -> None:
-        self._abort_locked(txn)
-        callbacks = txn.drain_callbacks()
-        self._fire(callbacks, txn)
+        with self._commit_mutex:
+            if txn.status is TxnStatus.ACTIVE:
+                self._abort_locked(txn)
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
         raise SerializationFailure(message)
 
     def _first_committer_conflict(self, txn: Transaction) -> Optional[str]:
@@ -678,20 +906,34 @@ class Database:
         return None
 
     def _check_doomed(self, txn: Transaction) -> None:
-        if self._ssi is not None and self._ssi.is_doomed(txn):
-            self._abort_locked(txn)
-            callbacks = txn.drain_callbacks()
-            self._fire(callbacks, txn)
-            raise SsiAbort(f"txn {txn.txid} ({txn.label}) is an SSI pivot")
+        """Abort+raise if the SSI certifier doomed this transaction.
 
-    def _wait_on(self, blocker_ids: frozenset[int]) -> WaitOn:
-        blockers = frozenset(
-            self._active[txid] for txid in blocker_ids if txid in self._active
-        )
+        The doom check itself is a lock-free set probe; the abort (the
+        rare path) takes the commit mutex and re-checks the status so two
+        racing operations of the same transaction abort it only once.
+        """
+        if self._ssi is None or not self._ssi.is_doomed(txn):
+            return
+        with self._commit_mutex:
+            if txn.status is TxnStatus.ACTIVE:
+                self._abort_locked(txn)
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
+        raise SsiAbort(f"txn {txn.txid} ({txn.label}) is an SSI pivot")
+
+    def _wait_on(self, blocker_ids: frozenset[int]) -> Optional[WaitOn]:
+        """Resolve blocker ids to live transactions (commit mutex).
+
+        Returns ``None`` when every blocker already resolved between the
+        failed acquire and this lookup — with lock-free paths that is a
+        normal race, and the caller simply retries the acquire.
+        """
+        with self._commit_mutex:
+            blockers = frozenset(
+                self._active[txid] for txid in blocker_ids if txid in self._active
+            )
         if not blockers:
-            # All blockers resolved between detection and now (possible only
-            # through re-entrant use); tell the caller to simply retry.
-            raise TransactionStateError("lock blockers vanished; retry")
+            return None
         return WaitOn(blockers)
 
     def _fire(

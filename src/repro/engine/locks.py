@@ -54,8 +54,19 @@ class _LockEntry:
 class LockManager:
     """Tracks row locks and the waits-for graph.
 
-    The caller (the :class:`~repro.engine.engine.Database`) serializes access
-    with its own mutex, so this class needs no internal locking.
+    The caller (the :class:`~repro.engine.engine.Database`) serializes
+    access, so this class needs no internal locking.  Since the engine
+    dropped its global mutex the serialization contract is per-structure
+    (DESIGN.md §9):
+
+    * per-row lock entries — :meth:`try_acquire` and :meth:`release_one`
+      on the same row are serialized by the engine's stripe latch for that
+      row;
+    * ``_held_by_txn[txid]`` — only ever touched by the transaction's own
+      session thread (acquire) and its commit/abort path (release), which
+      run on the same thread;
+    * the waits-for graph — mutated only under the engine's commit mutex
+      (:meth:`begin_wait` / :meth:`end_wait` / :meth:`finish_release`).
 
     ``lock_timeout`` is the maximum time (seconds) a session may wait for a
     lock before the wait expires with :class:`~repro.errors.LockTimeout`.
@@ -112,16 +123,36 @@ class LockManager:
     def rows_held_by(self, txid: int) -> frozenset[RowId]:
         return frozenset(self._held_by_txn.get(txid, ()))
 
+    def release_one(self, txid: int, row: RowId) -> None:
+        """Release ``txid``'s lock on one row.
+
+        The caller must hold the row's stripe latch (so a concurrent
+        :meth:`try_acquire` cannot observe a half-removed entry) and must
+        follow up with :meth:`finish_release` once every row is done.
+        """
+        entry = self._locks.get(row)
+        if entry is None:
+            return
+        entry.holders.pop(txid, None)
+        if not entry.holders:
+            del self._locks[row]
+
+    def finish_release(self, txid: int) -> None:
+        """Drop ``txid``'s per-transaction bookkeeping after its row locks
+        were released via :meth:`release_one` (commit mutex held)."""
+        self._held_by_txn.pop(txid, None)
+        self._waits_for.pop(txid, None)
+
     def release_all(self, txid: int) -> list[RowId]:
-        """Release every lock held by ``txid``; returns the freed rows."""
+        """Release every lock held by ``txid``; returns the freed rows.
+
+        Single-structure-owner variant used by tests and tools that drive
+        the manager directly; the engine itself releases per-stripe via
+        :meth:`release_one` + :meth:`finish_release`.
+        """
         rows = self._held_by_txn.pop(txid, set())
         for row in rows:
-            entry = self._locks.get(row)
-            if entry is None:
-                continue
-            entry.holders.pop(txid, None)
-            if not entry.holders:
-                del self._locks[row]
+            self.release_one(txid, row)
         self._waits_for.pop(txid, None)
         return sorted(rows, key=repr)
 

@@ -3,9 +3,18 @@
 A :class:`Table` maps primary-key values to :class:`VersionChain` objects.
 Uniqueness of secondary columns (e.g. ``Account.CustomerId`` in SmallBank)
 is enforced at commit time and accelerated by a *superset index*: a map from
-column value to the set of primary keys that have **ever** carried that
+column value to the tuple of primary keys that have **ever** carried that
 value.  Lookups fetch the candidates from the index and then apply snapshot
 visibility, which keeps the index itself version-free yet correct.
+
+Concurrency contract (see DESIGN.md §9): tables are read lock-free by SI
+readers.  Structures a reader traverses — version chains, the sorted-key
+cache, the superset indexes — are only ever *replaced*, never mutated in
+place: index entries are copy-on-write tuples and the key cache is an
+immutable tuple rebuilt on demand, so a reader either sees the old or the
+new value, both internally consistent.  All mutation happens on the writer
+side under the engine's stripe latches (key/chain creation) or commit
+mutex (version publication, index maintenance).
 """
 
 from __future__ import annotations
@@ -80,29 +89,46 @@ class TableSchema:
                 raise SchemaError(
                     f"unique column {col!r} is not a column of {self.name!r}"
                 )
+        # Schemas are immutable, so name lookups are precomputed once here
+        # instead of rebuilding sets/tuples on every validate_row call
+        # (row validation is on the write hot path).
+        object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_name_set", frozenset(names))
+        object.__setattr__(
+            self, "_by_name", {c.name: c for c in self.columns}
+        )
 
     @property
     def column_names(self) -> tuple[str, ...]:
-        return tuple(c.name for c in self.columns)
+        return self._names
+
+    @property
+    def column_name_set(self) -> frozenset[str]:
+        return self._name_set
 
     def column(self, name: str) -> Column:
-        for col in self.columns:
-            if col.name == name:
-                return col
-        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
 
     def validate_row(self, row: Mapping[str, object]) -> dict[str, object]:
         """Type-check a full row and return a plain-dict copy."""
-        extra = set(row) - set(self.column_names)
-        if extra:
-            raise SchemaError(
-                f"unknown column(s) {sorted(extra)} for table {self.name!r}"
-            )
-        missing = set(self.column_names) - set(row)
-        if missing:
-            raise IntegrityError(
-                f"missing column(s) {sorted(missing)} for table {self.name!r}"
-            )
+        name_set = self._name_set
+        keys = row.keys()
+        if keys != name_set:
+            extra = keys - name_set
+            if extra:
+                raise SchemaError(
+                    f"unknown column(s) {sorted(extra)} for table {self.name!r}"
+                )
+            missing = name_set - keys
+            if missing:
+                raise IntegrityError(
+                    f"missing column(s) {sorted(missing)} for table {self.name!r}"
+                )
         for col in self.columns:
             col.check(row[col.name])
         return dict(row)
@@ -114,14 +140,23 @@ class Table:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self.rows: dict[Hashable, VersionChain] = {}
-        # Superset indexes: column -> value -> set of pks that ever had it.
-        self._indexes: dict[str, dict[Hashable, set[Hashable]]] = {
+        # Superset indexes: column -> value -> tuple of pks that ever had
+        # it, kept sorted by repr.  Entries are copy-on-write (replaced,
+        # never mutated) so lock-free readers always see a consistent
+        # candidate list.
+        self._indexes: dict[str, dict[Hashable, tuple[Hashable, ...]]] = {
             col: {} for col in schema.unique
         }
         # Commercial-platform SELECT FOR UPDATE bookkeeping: pk -> commit_ts
         # of the last transaction that SFU-locked the row (treated like a
         # write for conflict detection, though no version is created).
         self.cc_write_ts: dict[Hashable, int] = {}
+        # Scan-order cache: (key_count, keys sorted by repr).  Keys are
+        # never removed (deletes are tombstone versions), so the cache is
+        # exactly valid while key_count == len(rows) — no explicit
+        # invalidation hook is needed and a stale rebuild can never mask a
+        # newer insert.
+        self._sorted_keys: tuple[int, tuple[Hashable, ...]] = (0, ())
 
     # ------------------------------------------------------------------
     # Chains
@@ -138,6 +173,25 @@ class Table:
 
     def keys(self) -> Iterator[Hashable]:
         return iter(self.rows)
+
+    def sorted_keys(self) -> tuple[Hashable, ...]:
+        """All keys (committed or in-flight) sorted by repr.
+
+        Scans iterate this cache instead of re-sorting every call.  The
+        rebuild snapshots the key view first (``list(dict)`` is atomic
+        under the GIL) so it is safe against concurrent inserts: a rebuild
+        that raced with an insert publishes a pair whose count no longer
+        matches ``len(rows)``, which simply forces the next call to rebuild
+        again — a stale tuple can never be mistaken for current.
+        """
+        count, keys = self._sorted_keys
+        rows = self.rows
+        if count != len(rows):
+            fresh = list(rows)
+            fresh.sort(key=repr)
+            keys = tuple(fresh)
+            self._sorted_keys = (len(keys), keys)
+        return keys
 
     # ------------------------------------------------------------------
     # Snapshot reads
@@ -163,7 +217,7 @@ class Table:
 
         Keys are visited in sorted order so scans are deterministic.
         """
-        for key in sorted(self.rows, key=repr):
+        for key in self.sorted_keys():
             row = self.visible_row(key, snapshot_ts)
             if row is None:
                 continue
@@ -181,7 +235,9 @@ class Table:
             raise SchemaError(
                 f"column {column!r} of {self.schema.name!r} has no unique index"
             )
-        for key in sorted(self._indexes[column].get(value, ()), key=repr):
+        # Index entries are pre-sorted copy-on-write tuples, so this is a
+        # lock-free read of an immutable candidate list.
+        for key in self._indexes[column].get(value, ()):
             row = self.visible_row(key, snapshot_ts)
             if row is not None and row[column] == value:
                 return key, row
@@ -191,13 +247,21 @@ class Table:
     # Commit-time maintenance (called by the engine under its mutex)
     # ------------------------------------------------------------------
     def check_unique_on_commit(
-        self, key: Hashable, row: Optional[Mapping[str, object]], as_of_ts: int
+        self,
+        key: Hashable,
+        row: Optional[Mapping[str, object]],
+        as_of_ts: int,
+        staged: Optional[Mapping[Hashable, Optional[Mapping[str, object]]]] = None,
     ) -> None:
         """Verify unique constraints for a row about to be committed.
 
         ``as_of_ts`` is the committing transaction's snapshot-independent
         view: uniqueness is checked against the *latest committed* state,
         because two snapshots must not both install the same unique value.
+        ``staged`` maps keys the same transaction is committing to their
+        new values, so validation (which runs before any version is
+        published) sees the transaction's own writes — a value moved from
+        one row to another inside one transaction is not a violation.
         """
         if row is None:
             return
@@ -206,7 +270,10 @@ class Table:
             for other_key in self._indexes[column].get(value, ()):
                 if other_key == key:
                     continue
-                other = self.visible_row(other_key, as_of_ts)
+                if staged is not None and other_key in staged:
+                    other = staged[other_key]
+                else:
+                    other = self.visible_row(other_key, as_of_ts)
                 if other is not None and other[column] == value:
                     raise IntegrityError(
                         f"unique constraint on {self.schema.name}.{column} "
@@ -214,11 +281,20 @@ class Table:
                     )
 
     def index_committed_version(self, key: Hashable, version: Version) -> None:
-        """Record a freshly committed version in the superset indexes."""
+        """Record a freshly committed version in the superset indexes.
+
+        Entries are copy-on-write: the candidate tuple is replaced, never
+        mutated, so concurrent lock-free lookups always iterate a
+        consistent (and pre-sorted) list.  Only the committer mutates the
+        index, under the engine's commit mutex.
+        """
         if version.value is None:
             return
         for column, index in self._indexes.items():
-            index.setdefault(version.value[column], set()).add(key)
+            value = version.value[column]
+            existing = index.get(value, ())
+            if key not in existing:
+                index[value] = tuple(sorted((*existing, key), key=repr))
 
     def latest_cc_write_ts(self, key: Hashable) -> int:
         """Commit ts of the last committed commercial SFU on ``key`` (0 if none)."""

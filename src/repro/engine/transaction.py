@@ -18,6 +18,7 @@ transaction commits or aborts.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping, Optional
 
@@ -79,6 +80,9 @@ class Transaction:
         self.out_conflict = False  # we have an rw edge OUT to a concurrent txn
 
         self._resolution_callbacks: list[Callable[["Transaction"], None]] = []
+        # Guards the callback list against the register/drain race: a
+        # waiter thread subscribes while the owner thread resolves.
+        self._callback_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Footprint recording
@@ -164,18 +168,29 @@ class Transaction:
         """Invoke ``callback(self)`` when this transaction commits or aborts.
 
         If the transaction is already resolved, the callback fires
-        immediately (so waiters never miss the wake-up).
+        immediately (so waiters never miss the wake-up).  Registration is
+        synchronized with :meth:`drain_callbacks`: either the callback lands
+        in the list the resolver drains, or it observes the resolved status
+        and fires here — it can never be appended to an already-drained
+        list and silently lost.
         """
-        if self.status is not TxnStatus.ACTIVE:
-            callback(self)
-        else:
-            self._resolution_callbacks.append(callback)
+        with self._callback_lock:
+            if self.status is TxnStatus.ACTIVE:
+                self._resolution_callbacks.append(callback)
+                return
+        callback(self)
 
     def drain_callbacks(self) -> list[Callable[["Transaction"], None]]:
-        """Detach and return the pending callbacks (engine commit/abort)."""
-        callbacks = self._resolution_callbacks
-        self._resolution_callbacks = []
-        return callbacks
+        """Detach and return the pending callbacks (engine commit/abort).
+
+        Must be called *after* :attr:`status` left ``ACTIVE``: the status
+        change plus the lock ensure late subscribers self-fire instead of
+        appending to the drained list.
+        """
+        with self._callback_lock:
+            callbacks = self._resolution_callbacks
+            self._resolution_callbacks = []
+            return callbacks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -135,6 +135,28 @@ class VersionChain:
         version = self.visible(snapshot_ts)
         return version is not None and not version.is_tombstone
 
+    def prune(self, horizon_ts: int) -> int:
+        """Drop committed versions no snapshot at or after ``horizon_ts``
+        can see; returns how many were dropped.
+
+        A snapshot at ``horizon_ts`` sees the newest version with
+        ``commit_ts <= horizon_ts``, so that version (and everything newer)
+        is kept; all older versions are unreachable once every live
+        snapshot is at or past the horizon.  The surviving suffix is
+        published as a *new* list — concurrent lock-free readers keep
+        traversing whichever (immutable-element) list they already hold.
+        """
+        committed = self._committed
+        keep_from = 0
+        for i in range(len(committed) - 1, -1, -1):
+            if committed[i].commit_ts <= horizon_ts:
+                keep_from = i
+                break
+        if keep_from == 0:
+            return 0
+        self._committed = committed[keep_from:]
+        return keep_from
+
     def __len__(self) -> int:
         return len(self._committed)
 

@@ -28,10 +28,13 @@ which transactions would have forced a flush.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional
 
 from repro.engine.locks import RowId
+from repro.errors import DatabaseCrashed
 
 #: One redo entry: the row written and its full after-image (``None`` for a
 #: deletion tombstone).
@@ -121,3 +124,76 @@ class WriteAheadLog:
     def records_for(self, label: str) -> tuple[WalRecord, ...]:
         """All records written by transactions with the given label."""
         return tuple(r for r in self._records if r.label == label)
+
+
+class GroupCommitBuffer:
+    """Batches WAL appends + flushes outside the engine's commit mutex.
+
+    The commit protocol (DESIGN.md §9) *stages* a record while holding the
+    commit mutex — that fixes the record's position in the log, because
+    staging happens in commit-timestamp order — and performs the actual
+    append + flush after the mutex is released, via :meth:`sync`.  The
+    first committer to reach :meth:`sync` becomes the *leader*: it drains
+    every staged record (its own and any staged by commits racing behind
+    the mutex) into the log and flushes once.  Followers find their record
+    already durable and return without touching the log — the classic
+    group-commit pattern, which keeps the commit critical section free of
+    log work.
+
+    A commit is only acknowledged (``Database.commit`` returns) after its
+    record is durable, so the client-visible durability contract is
+    unchanged from flush-per-commit.
+    """
+
+    def __init__(self) -> None:
+        self._pending: "deque[WalRecord]" = deque()
+        self._flush_mutex = threading.Lock()
+        self._flushed_through = 0  # commit_ts of the newest durable record
+
+    def stage(self, record: WalRecord) -> None:
+        """Enqueue a record for the next flush.
+
+        Must be called under the engine's commit mutex so records enter
+        the queue in commit-timestamp order.
+        """
+        self._pending.append(record)
+
+    def sync(self, wal: WriteAheadLog, record: WalRecord) -> None:
+        """Block until ``record`` is durable, flushing a batch if needed.
+
+        Raises :class:`~repro.errors.DatabaseCrashed` when the record is
+        neither durable nor pending: an injected crash spilled it into the
+        WAL's (then truncated) volatile tail, so the commit was lost and
+        must not be acknowledged to the client.
+        """
+        with self._flush_mutex:
+            if record.commit_ts <= self._flushed_through:
+                return  # another leader's batch already covered us
+            pending = self._pending
+            while pending:
+                staged = pending.popleft()
+                wal.append(staged)
+                self._flushed_through = staged.commit_ts
+            if record.commit_ts > self._flushed_through:
+                raise DatabaseCrashed(
+                    f"commit {record.commit_ts} (txn {record.txid}) was "
+                    "staged but lost to a crash before the group flush"
+                )
+            wal.flush()
+
+    def spill_unflushed(self, wal: WriteAheadLog) -> None:
+        """Crash path: append staged records *without* flushing.
+
+        Models power failing between the append and the flush — the
+        records land in the WAL's volatile tail, which the crash then
+        discards.  Called under the commit mutex while crashing, so no
+        concurrent :meth:`sync` can flush them first.
+        """
+        with self._flush_mutex:
+            while self._pending:
+                wal.append(self._pending.popleft())
+
+    @property
+    def staged_count(self) -> int:
+        """Records staged but not yet drained into the log."""
+        return len(self._pending)

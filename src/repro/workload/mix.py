@@ -61,7 +61,11 @@ BALANCE60_MIX = TransactionMix(
     },
 )
 
-MIXES = {mix.name: mix for mix in (UNIFORM_MIX, BALANCE60_MIX)}
+#: Pure read-only mix (100% Balance): isolates the engine's SI read path,
+#: used by the scaling benchmark to measure lock-free read throughput.
+READONLY_MIX = TransactionMix("readonly", {BALANCE: 1.0})
+
+MIXES = {mix.name: mix for mix in (UNIFORM_MIX, BALANCE60_MIX, READONLY_MIX)}
 
 
 def get_mix(name: str) -> TransactionMix:

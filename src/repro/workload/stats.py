@@ -10,6 +10,7 @@ a 95 % confidence interval.
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -64,6 +65,12 @@ class RunStats:
     the number of attempts they needed, and ``giveups`` counts requests
     abandoned after the :class:`~repro.workload.retry.RetryPolicy`
     exhausted its attempts (or hit a non-retryable error).
+
+    The ``record_*`` methods are thread-safe: the threaded driver's client
+    threads all write into one shared instance, and Counter increments are
+    read-modify-write operations that would lose updates without the lock.
+    Read accessors are left unlocked — they are only meaningful after the
+    run's threads have joined.
     """
 
     window_start: float
@@ -76,6 +83,9 @@ class RunStats:
     retries: Counter = field(default_factory=Counter)  # program -> retry count
     attempts_histogram: Counter = field(default_factory=Counter)  # attempts -> commits
     giveups: Counter = field(default_factory=Counter)  # program -> abandoned requests
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def in_window(self, at: float) -> bool:
@@ -85,26 +95,31 @@ class RunStats:
         self, program: str, response_time: float, at: float, attempts: int = 1
     ) -> None:
         if self.in_window(at):
-            self.commits[program] += 1
-            self.response_time_sum += response_time
-            self.response_time_count += 1
-            self.attempts_histogram[attempts] += 1
+            with self._lock:
+                self.commits[program] += 1
+                self.response_time_sum += response_time
+                self.response_time_count += 1
+                self.attempts_histogram[attempts] += 1
 
     def record_abort(self, program: str, reason: str, at: float) -> None:
         if self.in_window(at):
-            self.aborts[(program, reason)] += 1
+            with self._lock:
+                self.aborts[(program, reason)] += 1
 
     def record_rollback(self, program: str, at: float) -> None:
         if self.in_window(at):
-            self.rollbacks[program] += 1
+            with self._lock:
+                self.rollbacks[program] += 1
 
     def record_retry(self, program: str, at: float) -> None:
         if self.in_window(at):
-            self.retries[program] += 1
+            with self._lock:
+                self.retries[program] += 1
 
     def record_giveup(self, program: str, at: float) -> None:
         if self.in_window(at):
-            self.giveups[program] += 1
+            with self._lock:
+                self.giveups[program] += 1
 
     # ------------------------------------------------------------------
     @property
