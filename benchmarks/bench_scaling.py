@@ -43,6 +43,7 @@ from pathlib import Path
 
 from repro.engine import EngineConfig
 from repro.engine.engine import Database
+from repro.obs import Observability
 from repro.smallbank import (
     CHECKING,
     PopulationConfig,
@@ -243,6 +244,70 @@ def run_tps_curves(
 
 
 # ----------------------------------------------------------------------
+# Observability snapshot (latency histograms per isolation level)
+# ----------------------------------------------------------------------
+def _histogram_summary(h) -> dict:
+    return {
+        "count": h.count,
+        "mean_ms": round(h.mean * 1000, 3),
+        "p50_ms": round(h.p50 * 1000, 3),
+        "p95_ms": round(h.p95 * 1000, 3),
+        "p99_ms": round(h.p99 * 1000, 3),
+    }
+
+
+def collect_metrics_snapshot(
+    mpl: int, duration: float, customers: int = 100
+) -> dict:
+    """Run SI, S2PL and SSI on the balance60 mix with an
+    :class:`~repro.obs.Observability` installed and distill the histograms
+    the trajectory tracks: response time, lock wait, commit path, WAL
+    group-commit batch size and the SSI false-positive abort counter."""
+    out: dict = {"mpl": mpl, "mix": "balance60"}
+    for isolation in ISOLATION_CONFIGS:
+        obs = Observability()
+        db = build_database(
+            ISOLATION_CONFIGS[isolation](),
+            PopulationConfig(customers=customers),
+        )
+        driver = ThreadedDriver(
+            db,
+            get_strategy("base-si").transactions(),
+            ThreadedDriverConfig(
+                mpl=mpl,
+                customers=customers,
+                hotspot=10,
+                mix="balance60",
+                duration=duration,
+                seed=7,
+            ),
+            obs=obs,
+        )
+        driver.run()
+        m = obs.metrics
+        wal_batch = m.histogram("repro_wal_batch_size")
+        out[isolation] = {
+            "response_time": _histogram_summary(
+                m.histogram("repro_response_time_seconds")
+            ),
+            "lock_wait": _histogram_summary(
+                m.histogram("repro_lock_wait_seconds")
+            ),
+            "commit_path": _histogram_summary(
+                m.histogram("repro_commit_path_seconds")
+            ),
+            "wal_batch": {
+                "count": wal_batch.count,
+                "mean": round(wal_batch.mean, 2),
+                "p95": round(wal_batch.p95, 2),
+            },
+            "lock_waits": int(m.counter("repro_lock_waits_total").value),
+            "ssi_aborts": int(m.counter("repro_ssi_aborts_total").value),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
 # Perf-trajectory file
 # ----------------------------------------------------------------------
 def append_bench_record(record: dict, path: Path = BENCH_JSON) -> None:
@@ -338,6 +403,18 @@ def main(argv: "list[str] | None" = None) -> int:
             )
             print(f"  {isolation:<5} {mix:<10} {points}")
 
+    metrics_mpl = 8 if args.smoke else 20
+    print(f"== Latency histograms (balance60, MPL {metrics_mpl}) ==")
+    metrics = collect_metrics_snapshot(metrics_mpl, tps_duration)
+    for isolation in ISOLATION_CONFIGS:
+        snap = metrics[isolation]
+        print(
+            f"  {isolation:<5} rt p95 {snap['response_time']['p95_ms']:8.3f}ms"
+            f"   lock-wait p95 {snap['lock_wait']['p95_ms']:8.3f}ms"
+            f"   wal batch mean {snap['wal_batch']['mean']:5.2f}"
+            f"   ssi aborts {snap['ssi_aborts']}"
+        )
+
     failures = 0
     if ratio < min_ratio:
         print(f"FAIL: MPL-8 speedup {ratio:.2f}x below the {min_ratio}x floor")
@@ -360,6 +437,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 "mpl8_speedup_vs_global_mutex": round(ratio, 2),
                 "mpl8_over_mpl1_retention": round(retention, 2),
                 "smallbank_tps": curves,
+                "metrics": metrics,
             }
         )
         print(f"appended run record to {BENCH_JSON.name}")

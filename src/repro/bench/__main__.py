@@ -9,6 +9,13 @@ Regenerate any table or figure of the paper::
     python -m repro.bench fig5 --reps 5 --measure 4
     python -m repro.bench fig8 --paper-scale      # full 18000/1000, 30+60s
     python -m repro.bench all
+    python -m repro.bench fig4 --metrics-out fig4_metrics.json
+
+``--metrics-out`` installs a :class:`repro.obs.Observability` on every
+simulated run and writes the accumulated registry after the sweep (JSON,
+or Prometheus text exposition when the path ends in ``.prom``).  Without
+the flag no recorder exists and the figures are bit-identical to the
+seed.
 """
 
 from __future__ import annotations
@@ -62,6 +69,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "--csv", metavar="PREFIX", default=None,
         help="also write <PREFIX>_<figure>.csv per figure",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="collect engine/driver metrics over the sweep and write the "
+        "registry to PATH (JSON; Prometheus text if PATH ends in .prom)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -86,6 +98,12 @@ def main(argv: "list[str] | None" = None) -> int:
         print(render_sdg_figures())
         print()
 
+    obs = None
+    if args.metrics_out is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
+
     failed = False
     for key in keys:
         try:
@@ -103,6 +121,7 @@ def main(argv: "list[str] | None" = None) -> int:
             ramp_up=args.ramp_up,
             paper_scale=args.paper_scale,
             progress=progress,
+            obs=obs,
         )
         print(result.render())
         print(f"({time.time() - started:.1f}s)")
@@ -113,6 +132,12 @@ def main(argv: "list[str] | None" = None) -> int:
                 handle.write(result.to_csv() + "\n")
             print(f"wrote {path}", file=sys.stderr)
         failed = failed or not result.all_claims_hold
+    if obs is not None:
+        if args.metrics_out.endswith(".prom"):
+            obs.metrics.dump_prometheus(args.metrics_out)
+        else:
+            obs.metrics.dump_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
     return 1 if failed else 0
 
 

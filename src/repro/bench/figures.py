@@ -11,9 +11,12 @@ states in prose — as pass/fail checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.runner import SimulationConfig, run_replicated
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 from repro.smallbank.programs import PROGRAM_NAMES, SHORT_NAMES
 from repro.smallbank.strategies import get_strategy
 from repro.workload.stats import AggregateResult
@@ -187,8 +190,13 @@ def run_figure(
     ramp_up: float = 0.3,
     paper_scale: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    obs: "Observability | None" = None,
 ) -> FigureResult:
-    """Execute a figure's full grid."""
+    """Execute a figure's full grid.
+
+    ``obs`` (optional) accumulates metrics over every cell of the grid —
+    the ``--metrics-out`` flag of the bench CLI feeds on this.
+    """
     grid: Grid = {}
     for mpl in spec.mpls:
         grid[mpl] = {}
@@ -200,7 +208,7 @@ def run_figure(
                 config = config.at_paper_scale()
             if progress is not None:
                 progress(f"{spec.key}: {strategy} @ MPL {mpl}")
-            grid[mpl][strategy] = run_replicated(config, repetitions)
+            grid[mpl][strategy] = run_replicated(config, repetitions, obs=obs)
     return FigureResult(spec, grid)
 
 

@@ -77,7 +77,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the obs -> analysis cycle
+    from repro.obs import Observability
 
 from repro.engine.clock import LogicalClock
 from repro.engine.config import (
@@ -176,6 +179,10 @@ class Database:
         self._active: dict[int, Transaction] = {}
         self._observers = list(observers or [])
         self._ssi = SsiCertifier() if self.config.isolation is IsolationLevel.SSI else None
+        # Observability bundle (DESIGN.md §10).  ``None`` by default: every
+        # hook below is then a single attribute-load + ``is not None``
+        # check, the same zero-overhead discipline as ``faults``.
+        self._obs: "Observability | None" = None
         self._txid_counter = 0
         self._crashed = False
         # Bootstrap rows double as the recovery checkpoint: load_row data
@@ -219,6 +226,36 @@ class Database:
         """Install (or clear) the fault-injection plan."""
         with self._commit_mutex:
             self.faults = plan
+
+    def install_observability(self, obs: "Observability | None") -> None:
+        """Install (or clear) the observability bundle.
+
+        With none installed (the default) every trace/metrics hook is a
+        no-op ``None`` check and measured figures stay bit-identical.
+        """
+        with self._commit_mutex:
+            self._obs = obs
+
+    @property
+    def obs(self) -> "Observability | None":
+        return self._obs
+
+    def observe_version_stats(self) -> None:
+        """Sample version-chain length gauges into the installed registry.
+
+        Cheap enough to call at the end of a run (the drivers do); a no-op
+        without an installed :class:`~repro.obs.Observability`.
+        """
+        obs = self._obs
+        if obs is None:
+            return
+        with self._commit_mutex:
+            lengths = [
+                len(chain._committed)
+                for table in self.catalog
+                for chain in table.rows.values()
+            ]
+        obs.engine_version_stats(lengths)
 
     # ------------------------------------------------------------------
     # Crash / recovery
@@ -280,6 +317,8 @@ class Database:
             self._active[txn.txid] = txn
             if self._ssi is not None:
                 self._ssi.on_begin(txn)
+            if self._obs is not None:
+                self._obs.engine_begin(txn)
             return txn
 
     @property
@@ -339,6 +378,9 @@ class Database:
             reads[row_id] = version_ts
         if ssi is not None:
             ssi.on_read(txn, row_id, self)
+        obs = self._obs
+        if obs is not None:
+            obs.engine_read(txn, row_id, version_ts)
         return value
 
     def _read_s2pl(
@@ -548,6 +590,8 @@ class Database:
             chain = table.chain_or_create(key)
             chain.uncommitted = UncommittedVersion(txn.txid, frozen)
         txn.record_write(row_id, frozen)
+        if self._obs is not None:
+            self._obs.engine_write(txn, row_id)
         if self._ssi is not None:
             self._ssi.on_write(txn, row_id)
             self._check_doomed(txn)
@@ -595,18 +639,20 @@ class Database:
         """
         callbacks: list[Callable[[Transaction], None]]
         record: Optional[WalRecord] = None
+        obs = self._obs
+        commit_started = obs.now() if obs is not None else 0.0
         with self._commit_mutex:
             self._ensure_not_crashed()
             txn.ensure_active()
             if self.faults is not None and self.faults.should_fire("abort-at-commit"):
-                self._abort_locked(txn)
+                self._abort_locked(txn, reason="fault")
                 callbacks = txn.drain_callbacks()
                 self._fire(callbacks, txn)
                 raise FaultInjected(
                     f"txn {txn.txid} ({txn.label}) aborted at commit by fault plan"
                 )
             if self._ssi is not None and self._ssi.is_doomed(txn):
-                self._abort_locked(txn)
+                self._abort_locked(txn, reason="ssi")
                 callbacks = txn.drain_callbacks()
                 self._fire(callbacks, txn)
                 raise SsiAbort(
@@ -615,7 +661,7 @@ class Database:
             if self.config.write_conflict is WriteConflictPolicy.FIRST_COMMITTER_WINS:
                 conflict = self._first_committer_conflict(txn)
                 if conflict is not None:
-                    self._abort_locked(txn)
+                    self._abort_locked(txn, reason="serialization")
                     callbacks = txn.drain_callbacks()
                     self._fire(callbacks, txn)
                     raise SerializationFailure(conflict)
@@ -667,6 +713,8 @@ class Database:
                     ),
                 )
                 self._group_commit.stage(record)
+                if obs is not None:
+                    obs.engine_wal_stage(txn, record)
                 if self.faults is not None and self.faults.should_fire(
                     "crash-mid-commit"
                 ):
@@ -691,20 +739,35 @@ class Database:
                 # Durability point: batch-flush outside the critical
                 # section.  Raises DatabaseCrashed if a concurrent injected
                 # crash discarded the staged record — the commit was lost.
-                self._group_commit.sync(self.wal, record)
+                if obs is not None:
+                    flush_started = obs.now()
+                    batch = self._group_commit.sync(self.wal, record)
+                    obs.engine_wal_flush(
+                        txn, batch, obs.now() - flush_started
+                    )
+                else:
+                    self._group_commit.sync(self.wal, record)
+            if obs is not None:
+                obs.engine_commit(txn, obs.now() - commit_started)
         finally:
             self._fire(callbacks, txn)
 
-    def abort(self, txn: Transaction) -> None:
-        """Abort ``txn``: drop uncommitted versions, release locks."""
+    def abort(self, txn: Transaction, *, reason: str = "user") -> None:
+        """Abort ``txn``: drop uncommitted versions, release locks.
+
+        ``reason`` is the trace/metrics tag; the engine's internal abort
+        sites pass their own ("serialization", "deadlock", "ssi", "fault",
+        ...), the session layer passes "lock-timeout" for expired waits,
+        and driver-initiated rollbacks keep the default "user".
+        """
         with self._commit_mutex:
             if txn.status is not TxnStatus.ACTIVE:
                 return
-            self._abort_locked(txn)
+            self._abort_locked(txn, reason=reason)
             callbacks = txn.drain_callbacks()
         self._fire(callbacks, txn)
 
-    def _abort_locked(self, txn: Transaction) -> None:
+    def _abort_locked(self, txn: Transaction, *, reason: str = "user") -> None:
         # The aborting transaction still holds its row locks, so nobody
         # else can be staging an uncommitted version on these chains; the
         # clear is an atomic store that lock-free readers simply never
@@ -723,6 +786,8 @@ class Database:
         self._release_locks(txn.txid)
         if self._ssi is not None:
             self._ssi.on_resolve(txn, self._active.values())
+        if self._obs is not None:
+            self._obs.engine_abort(txn, reason)
 
     def _release_locks(self, txid: int) -> None:
         """Release all row locks per-stripe (commit mutex held).
@@ -760,6 +825,8 @@ class Database:
             for table in self.catalog:
                 for chain in table.rows.values():
                     pruned += chain.prune(horizon)
+            if self._obs is not None:
+                self._obs.engine_vacuum(pruned)
             return pruned
 
     # ------------------------------------------------------------------
@@ -774,8 +841,10 @@ class Database:
         with self._commit_mutex:
             try:
                 self.locks.begin_wait(txn.txid, wait.blocker_ids)
-            except Exception:
-                self._abort_locked(txn)
+            except Exception as exc:
+                self._abort_locked(
+                    txn, reason=getattr(exc, "reason", "deadlock")
+                )
                 callbacks = txn.drain_callbacks()
                 self._fire(callbacks, txn)
                 raise
@@ -818,11 +887,13 @@ class Database:
             return txn.writes[row_id]
         chain = table.chain(key)
         version = chain.latest() if chain is not None else None
-        if version is None:
-            txn.record_read(row_id, 0)
+        version_ts = 0 if version is None else version.commit_ts
+        txn.record_read(row_id, version_ts)
+        if self._obs is not None:
+            self._obs.engine_read(txn, row_id, version_ts)
+        if version is None or version.is_tombstone:
             return None
-        txn.record_read(row_id, version.commit_ts)
-        return None if version.is_tombstone else version.value
+        return version.value
 
     def _record_read(
         self, txn: Transaction, row_id: RowId, version_ts: int
@@ -830,6 +901,8 @@ class Database:
         txn.record_read(row_id, version_ts)
         if self._ssi is not None:
             self._ssi.on_read(txn, row_id, self)
+        if self._obs is not None:
+            self._obs.engine_read(txn, row_id, version_ts)
 
     def _record_item_read(
         self, txn: Transaction, table: Table, row_id: RowId
@@ -882,7 +955,7 @@ class Database:
     def _fail_serialization(self, txn: Transaction, message: str) -> None:
         with self._commit_mutex:
             if txn.status is TxnStatus.ACTIVE:
-                self._abort_locked(txn)
+                self._abort_locked(txn, reason="serialization")
                 callbacks = txn.drain_callbacks()
                 self._fire(callbacks, txn)
         raise SerializationFailure(message)
@@ -916,7 +989,7 @@ class Database:
             return
         with self._commit_mutex:
             if txn.status is TxnStatus.ACTIVE:
-                self._abort_locked(txn)
+                self._abort_locked(txn, reason="ssi")
                 callbacks = txn.drain_callbacks()
                 self._fire(callbacks, txn)
         raise SsiAbort(f"txn {txn.txid} ({txn.label}) is an SSI pivot")

@@ -220,22 +220,33 @@ class Session:
         faults = self.db.faults
         if faults is not None and faults.should_fire("lock-timeout"):
             # Injected expiry: the wait "times out" immediately.
-            self.db.abort(txn)
+            self.db.abort(txn, reason="lock-timeout")
             raise LockTimeout(
                 f"txn {txn.txid} ({txn.label}): injected lock-wait timeout "
                 f"on {sorted(wait.blocker_ids)}"
             )
         timeout = self.db.locks.lock_timeout
-        self.db.begin_wait(txn, wait)  # raises DeadlockError (txn aborted)
+        obs = self.db.obs
+        started = 0.0
+        timed_out = False
+        if obs is not None:
+            started = obs.now()
+            obs.lock_wait_start(txn, wait)
         try:
-            if timeout is None:
-                woke = self.waiter.wait_any(wait)
-            else:
-                woke = self.waiter.wait_any(wait, timeout)
+            self.db.begin_wait(txn, wait)  # raises DeadlockError (txn aborted)
+            try:
+                if timeout is None:
+                    woke = self.waiter.wait_any(wait)
+                else:
+                    woke = self.waiter.wait_any(wait, timeout)
+            finally:
+                self.db.end_wait(txn)
+            timed_out = woke is False
         finally:
-            self.db.end_wait(txn)
-        if woke is False:
-            self.db.abort(txn)
+            if obs is not None:
+                obs.lock_wait_end(txn, wait, obs.now() - started, timed_out)
+        if timed_out:
+            self.db.abort(txn, reason="lock-timeout")
             raise LockTimeout(
                 f"txn {txn.txid} ({txn.label}): lock wait exceeded "
                 f"{timeout}s waiting for {sorted(wait.blocker_ids)}"

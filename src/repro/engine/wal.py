@@ -158,8 +158,14 @@ class GroupCommitBuffer:
         """
         self._pending.append(record)
 
-    def sync(self, wal: WriteAheadLog, record: WalRecord) -> None:
+    def sync(self, wal: WriteAheadLog, record: WalRecord) -> int:
         """Block until ``record`` is durable, flushing a batch if needed.
+
+        Returns the number of records *this* call drained and flushed —
+        the group-commit batch size when the caller became the leader, 0
+        when it was a follower whose record another leader's batch already
+        covered.  (The observability layer feeds this into the
+        ``repro_wal_batch_size`` histogram.)
 
         Raises :class:`~repro.errors.DatabaseCrashed` when the record is
         neither durable nor pending: an injected crash spilled it into the
@@ -168,18 +174,21 @@ class GroupCommitBuffer:
         """
         with self._flush_mutex:
             if record.commit_ts <= self._flushed_through:
-                return  # another leader's batch already covered us
+                return 0  # another leader's batch already covered us
             pending = self._pending
+            batch = 0
             while pending:
                 staged = pending.popleft()
                 wal.append(staged)
                 self._flushed_through = staged.commit_ts
+                batch += 1
             if record.commit_ts > self._flushed_through:
                 raise DatabaseCrashed(
                     f"commit {record.commit_ts} (txn {record.txid}) was "
                     "staged but lost to a crash before the group flush"
                 )
             wal.flush()
+            return batch
 
     def spill_unflushed(self, wal: WriteAheadLog) -> None:
         """Crash path: append staged records *without* flushing.

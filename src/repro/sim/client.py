@@ -28,6 +28,7 @@ from typing import Optional
 from repro.engine.engine import Database, WaitOn
 from repro.engine.session import Session, Waiter
 from repro.errors import ApplicationRollback, TransactionAborted
+from repro.obs import Observability
 from repro.sim.core import SimEvent, Simulator
 from repro.sim.platform import PlatformModel
 from repro.sim.resources import GroupCommitLog, Resource
@@ -86,6 +87,7 @@ class SimulatedClient:
         mpl: int,
         rng: random.Random,
         retry: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.db = db
@@ -99,6 +101,7 @@ class SimulatedClient:
         self.mpl = mpl
         self.rng = rng
         self.retry = retry or RetryPolicy.paper_default()
+        self.obs = obs
         self._cpu_multiplier = platform.cpu_multiplier(mpl)
 
     # ------------------------------------------------------------------
@@ -127,6 +130,7 @@ class SimulatedClient:
     def run(self) -> None:
         """Process body: loop until the simulation shuts down."""
         policy = self.retry
+        obs = self.obs
         while True:
             self.sim.checkpoint()
             faults = self.db.faults
@@ -148,24 +152,38 @@ class SimulatedClient:
                     session.begin(program)
                     self.transactions.body(program)(session, args)
                     self._commit(session)
+                    response = self.sim.now - started
                     self.stats.record_commit(
-                        program, self.sim.now - started, self.sim.now, attempts
+                        program, response, self.sim.now, attempts
                     )
+                    if obs is not None:
+                        obs.driver_commit(program, response, attempts)
                     break
                 except ApplicationRollback:
                     session.rollback()
                     self.stats.record_rollback(program, self.sim.now)
+                    if obs is not None:
+                        obs.driver_rollback(program)
                     break
                 except TransactionAborted as exc:
                     session.rollback()
                     self.stats.record_abort(program, exc.reason, self.sim.now)
+                    if obs is not None:
+                        obs.driver_abort(program, exc.reason)
                     if not policy.should_retry(exc, attempts):
-                        self.stats.record_giveup(program, self.sim.now)
+                        self.stats.record_giveup(program, self.sim.now, attempts)
+                        if obs is not None:
+                            obs.driver_giveup(program)
                         break
-                    self.stats.record_retry(program, self.sim.now)
                     # Jitter draws share the client's stream; they only
                     # happen under a non-default policy, where exact figure
                     # reproduction is not expected (still deterministic).
                     delay = policy.backoff(attempts, self.rng)
                     if delay > 0:
                         self.sim.sleep(delay)
+                    # Recorded after the backoff sleep: a retry only counts
+                    # once the extra attempt actually starts (a simulation
+                    # shutdown mid-backoff must not inflate total_retries).
+                    self.stats.record_retry(program, self.sim.now)
+                    if obs is not None:
+                        obs.driver_retry(program)

@@ -25,6 +25,7 @@ from repro.engine.engine import Database
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultPlan
+    from repro.obs import Observability
     from repro.workload.retry import RetryPolicy
 from repro.sim.client import SimulatedClient
 from repro.sim.core import Simulator
@@ -76,6 +77,7 @@ def run_once(
     fault_plan: "FaultPlan | None" = None,
     retry: "RetryPolicy | None" = None,
     on_database: "Callable[[Database], None] | None" = None,
+    obs: "Observability | None" = None,
 ) -> RunStats:
     """Run one simulation and return its measurement-window statistics.
 
@@ -87,8 +89,10 @@ def run_once(
     database and the WAL disk (chaos benchmarks); ``retry`` overrides the
     clients' retry protocol; ``on_database`` runs against the freshly
     populated database before clients start (e.g. to attach a
-    :class:`~repro.analysis.checker.SerializabilityChecker`).  All three
-    default to no-ops that leave the seed figures unchanged.
+    :class:`~repro.analysis.checker.SerializabilityChecker`); ``obs``
+    installs an :class:`~repro.obs.Observability` on the database with its
+    clock rebound to simulated time, so histograms are in simulated
+    seconds.  All default to no-ops that leave the seed figures unchanged.
     """
     platform: PlatformModel = platform_model or get_platform(config.platform)
     strategy = get_strategy(config.strategy)
@@ -103,6 +107,9 @@ def run_once(
     transactions = strategy.transactions()
 
     sim = Simulator()
+    if obs is not None:
+        obs.use_clock(lambda: sim.now)
+        db.install_observability(obs)
     cpu = Resource(sim, capacity=platform.cpu_servers, name="cpu")
     wal = GroupCommitLog(
         sim,
@@ -135,12 +142,15 @@ def run_once(
             mpl=config.mpl,
             rng=rng,
             retry=retry,
+            obs=obs,
         )
         sim.spawn(client.run, name=f"client-{client_id}")
     try:
         sim.run_for(config.ramp_up + config.measure)
     finally:
         sim.shutdown()
+    if obs is not None:
+        db.observe_version_stats()
     return stats
 
 
@@ -148,11 +158,18 @@ def run_replicated(
     config: SimulationConfig,
     repetitions: int = 2,
     platform_model: "PlatformModel | None" = None,
+    obs: "Observability | None" = None,
 ) -> AggregateResult:
-    """Repeat a configuration with distinct seeds; aggregate mean ± CI."""
+    """Repeat a configuration with distinct seeds; aggregate mean ± CI.
+
+    A shared ``obs`` accumulates metrics across all repetitions (its clock
+    is rebound to each repetition's simulator in turn).
+    """
     runs = [
         run_once(
-            replace(config, seed=config.seed + 1000 * rep), platform_model
+            replace(config, seed=config.seed + 1000 * rep),
+            platform_model,
+            obs=obs,
         )
         for rep in range(repetitions)
     ]

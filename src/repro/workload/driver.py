@@ -18,7 +18,15 @@ Robustness contract:
 * retries follow the shared :class:`~repro.workload.retry.RetryPolicy`
   (default: the paper's retry-as-new-transaction protocol), and a
   :class:`~repro.faults.FaultPlan` installed on the database can kill
-  clients mid-run (``client-death``).
+  clients mid-run (``client-death``);
+* retry accounting is exact: a retry is recorded only once the extra
+  attempt actually starts, so within one measurement window
+  ``RunStats.total_retries == RunStats.accounted_retries`` — a request
+  whose deadline expires mid-backoff counts as a give-up, not a retry.
+
+Handing the driver an :class:`~repro.obs.Observability` installs it on
+the database and additionally populates program-labelled driver metrics
+(response-time histograms, commit/abort/retry/give-up counters) per run.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from typing import Optional
 from repro.engine.engine import Database
 from repro.engine.session import Session
 from repro.errors import ApplicationRollback, ReproError, TransactionAborted
+from repro.obs import Observability
 from repro.smallbank.transactions import SmallBankTransactions
 from repro.workload.mix import HotspotConfig, ParameterGenerator, get_mix
 from repro.workload.retry import RetryPolicy
@@ -83,6 +92,11 @@ class ThreadedDriverConfig:
     #: In-place retry protocol; ``None`` means the paper's default
     #: (surface every abort, move on to a fresh transaction).
     retry: Optional[RetryPolicy] = None
+    #: Override for the stats measurement window ``(start, end)`` on the
+    #: run clock; ``None`` means the standard ``[ramp_up, ramp_up +
+    #: duration)``.  The retry-accounting tests pass ``(0.0, inf)`` so no
+    #: event falls outside the window and the reconciliation is exact.
+    stats_window: Optional[tuple[float, float]] = None
 
 
 class ThreadedDriver:
@@ -93,18 +107,24 @@ class ThreadedDriver:
         db: Database,
         transactions: SmallBankTransactions,
         config: ThreadedDriverConfig,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.db = db
         self.transactions = transactions
         self.config = config
+        self.obs = obs
+        if obs is not None:
+            db.install_observability(obs)
 
     def run(self) -> RunStats:
         config = self.config
+        obs = self.obs
         policy = config.retry or RetryPolicy.paper_default()
-        stats = RunStats(
-            window_start=config.ramp_up,
-            window_end=config.ramp_up + config.duration,
+        window = config.stats_window or (
+            config.ramp_up,
+            config.ramp_up + config.duration,
         )
+        stats = RunStats(window_start=window[0], window_end=window[1])
         mix = get_mix(config.mix)
         hotspot = HotspotConfig(
             customers=config.customers,
@@ -134,27 +154,45 @@ class ThreadedDriver:
                     started = clock()
                     try:
                         self.transactions.run(session, program, args)
-                        stats.record_commit(
-                            program, clock() - started, clock(), attempts
-                        )
+                        response = clock() - started
+                        stats.record_commit(program, response, clock(), attempts)
+                        if obs is not None:
+                            obs.driver_commit(program, response, attempts)
                         break
                     except ApplicationRollback:
                         session.rollback()
                         stats.record_rollback(program, clock())
+                        if obs is not None:
+                            obs.driver_rollback(program)
                         break
                     except TransactionAborted as exc:
                         session.rollback()
                         stats.record_abort(program, exc.reason, clock())
+                        if obs is not None:
+                            obs.driver_abort(program, exc.reason)
                         if not policy.should_retry(exc, attempts):
-                            stats.record_giveup(program, clock())
+                            stats.record_giveup(program, clock(), attempts)
+                            if obs is not None:
+                                obs.driver_giveup(program)
                             break
-                        stats.record_retry(program, clock())
                         delay = policy.backoff(attempts, backoff_rng)
+                        if time.monotonic() >= deadline:
+                            # The run ended before the extra attempt could
+                            # start: a give-up, not a retry.
+                            stats.record_giveup(program, clock(), attempts)
+                            if obs is not None:
+                                obs.driver_giveup(program)
+                            break
                         if delay > 0:
                             time.sleep(delay)
-                        if time.monotonic() >= deadline:
-                            stats.record_giveup(program, clock())
-                            break
+                            if time.monotonic() >= deadline:
+                                stats.record_giveup(program, clock(), attempts)
+                                if obs is not None:
+                                    obs.driver_giveup(program)
+                                break
+                        stats.record_retry(program, clock())
+                        if obs is not None:
+                            obs.driver_retry(program)
 
         failures: dict[int, BaseException] = {}
         failures_lock = threading.Lock()
@@ -184,6 +222,8 @@ class ThreadedDriver:
             for client_id, thread in threads.items()
             if thread.is_alive()
         )
+        if obs is not None:
+            self.db.observe_version_stats()
         if failures or stuck:
             raise ThreadedDriverError(failures, stuck)
         return stats

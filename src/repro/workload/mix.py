@@ -114,6 +114,27 @@ class ParameterGenerator:
         return self.rng.randint(cfg.hotspot + 1, cfg.customers)
 
     def pick_two_customers(self) -> tuple[int, int]:
+        """Two *distinct* customers for Amalgamate.
+
+        The rejection loop needs at least two reachable customers or it
+        would spin forever: with ``customers == 1`` every draw returns
+        customer 1, and with ``hotspot_probability == 1.0`` and a
+        one-customer hotspot every draw returns the hotspot customer.
+        Both configurations are rejected up front.
+        """
+        cfg = self.config
+        if cfg.customers < 2:
+            raise ValueError(
+                "pick_two_customers needs at least 2 customers "
+                f"(got {cfg.customers}); Amalgamate requires two distinct "
+                "accounts"
+            )
+        if cfg.hotspot < 2 and cfg.hotspot_probability >= 1.0:
+            raise ValueError(
+                "pick_two_customers cannot draw two distinct customers: "
+                f"hotspot_probability=1.0 confines every draw to the "
+                f"{cfg.hotspot}-customer hotspot"
+            )
         first = self.pick_customer()
         second = self.pick_customer()
         while second == first:

@@ -16,9 +16,11 @@ policy object:
   request is retried before the driver *gives up* (recorded separately in
   :class:`~repro.workload.stats.RunStats`);
 * **exponential backoff with jitter** — ``base_backoff`` doubles (by
-  ``multiplier``) per failed attempt up to ``max_backoff``; ``jitter``
-  adds a uniformly distributed fraction on top so synchronized retry
-  storms decorrelate (the standard "full jitter" refinement).
+  ``multiplier``) per failed attempt; ``jitter`` multiplies the delay by a
+  uniform factor in ``[1, 1 + jitter]`` so synchronized retry storms
+  decorrelate (multiplicative jitter, not AWS-style "full jitter"), and
+  the result is clamped to ``max_backoff`` *after* jitter is applied, so
+  ``max_backoff`` is a hard ceiling on every sleep.
 
 The seed protocol — :meth:`RetryPolicy.paper_default` — is ``max_attempts=1``
 with no backoff: each abort surfaces immediately and the closed-loop client
@@ -123,14 +125,17 @@ class RetryPolicy:
         Deterministic when ``jitter`` is zero or no ``rng`` is supplied;
         never draws from ``rng`` unless jitter actually applies, so
         installing a zero-backoff policy perturbs no random stream.
+
+        The clamp to ``max_backoff`` happens *after* jitter so the
+        configured ceiling is a hard bound on the returned delay (clamping
+        first would let jitter inflate a delay up to
+        ``max_backoff * (1 + jitter)``).
         """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         if self.base_backoff <= 0:
             return 0.0
-        delay = min(
-            self.base_backoff * self.multiplier ** (attempt - 1), self.max_backoff
-        )
+        delay = self.base_backoff * self.multiplier ** (attempt - 1)
         if self.jitter > 0 and rng is not None:
             delay *= 1.0 + self.jitter * rng.random()
-        return delay
+        return min(delay, self.max_backoff)

@@ -83,6 +83,10 @@ class RunStats:
     retries: Counter = field(default_factory=Counter)  # program -> retry count
     attempts_histogram: Counter = field(default_factory=Counter)  # attempts -> commits
     giveups: Counter = field(default_factory=Counter)  # program -> abandoned requests
+    #: attempts -> abandoned requests that had made that many attempts;
+    #: together with ``attempts_histogram`` this makes retry accounting
+    #: exactly reconcilable: ``total_retries == accounted_retries``.
+    giveup_attempts_histogram: Counter = field(default_factory=Counter)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -116,10 +120,11 @@ class RunStats:
             with self._lock:
                 self.retries[program] += 1
 
-    def record_giveup(self, program: str, at: float) -> None:
+    def record_giveup(self, program: str, at: float, attempts: int = 1) -> None:
         if self.in_window(at):
             with self._lock:
                 self.giveups[program] += 1
+                self.giveup_attempts_histogram[attempts] += 1
 
     # ------------------------------------------------------------------
     @property
@@ -191,30 +196,67 @@ class RunStats:
         total = sum(n * count for n, count in self.attempts_histogram.items())
         return total / commits
 
+    @property
+    def accounted_retries(self) -> int:
+        """Retries implied by the attempt histograms.
+
+        A request that needed ``n`` attempts performed ``n - 1`` retries,
+        whether it eventually committed (``attempts_histogram``) or was
+        abandoned (``giveup_attempts_histogram``).  The driver records a
+        retry only when the extra attempt actually starts, so within one
+        measurement window ``total_retries == accounted_retries`` — the
+        invariant the retry-accounting tests assert.
+        """
+        return sum(
+            (attempts - 1) * count
+            for histogram in (self.attempts_histogram, self.giveup_attempts_histogram)
+            for attempts, count in histogram.items()
+        )
+
 
 @dataclass
 class AggregateResult:
-    """Mean ± 95 % CI over repeated runs of one configuration."""
+    """Mean ± 95 % CI over repeated runs of one configuration.
+
+    Derived statistics are computed once per metric and memoised — the
+    figure renderers read ``tps``/``tps_ci`` repeatedly per cell, and each
+    used to recompute :func:`mean_and_ci` over every run on every access.
+    ``runs`` is treated as final once the first statistic is read.
+    """
 
     runs: list[RunStats]
 
+    def _stat(self, key, values) -> tuple[float, float]:
+        cache = self.__dict__.setdefault("_stat_cache", {})
+        if key not in cache:
+            cache[key] = mean_and_ci(values())
+        return cache[key]
+
     @property
     def tps(self) -> float:
-        return mean_and_ci([r.tps for r in self.runs])[0]
+        return self._stat("tps", lambda: [r.tps for r in self.runs])[0]
 
     @property
     def tps_ci(self) -> float:
-        return mean_and_ci([r.tps for r in self.runs])[1]
+        return self._stat("tps", lambda: [r.tps for r in self.runs])[1]
 
     @property
     def mean_response_time(self) -> float:
-        return mean_and_ci([r.mean_response_time for r in self.runs])[0]
+        return self._stat(
+            "response_time", lambda: [r.mean_response_time for r in self.runs]
+        )[0]
 
     def abort_rate(self, program: Optional[str] = None) -> float:
-        return mean_and_ci([r.abort_rate(program) for r in self.runs])[0]
+        return self._stat(
+            ("abort_rate", program),
+            lambda: [r.abort_rate(program) for r in self.runs],
+        )[0]
 
     def commits_of(self, program: str) -> float:
-        return mean_and_ci([float(r.commits[program]) for r in self.runs])[0]
+        return self._stat(
+            ("commits", program),
+            lambda: [float(r.commits[program]) for r in self.runs],
+        )[0]
 
     def describe(self) -> str:
         return (
