@@ -21,8 +21,51 @@ scratch:
 * :mod:`repro.bench` — one experiment per paper table and figure.
 
 Start with ``examples/quickstart.py`` or ``python -m repro.bench list``.
+
+The blessed client surface (DESIGN.md §11) is re-exported here::
+
+    import repro
+
+    conn = repro.connect("local://", schemas=..., isolation="si")
+    with conn.transaction("deposit") as txn:
+        ...
+
+Re-exports resolve lazily (PEP 562) so ``import repro`` stays free of the
+workload/observability machinery until it is actually used.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: name -> defining module, resolved on first attribute access.
+_EXPORTS = {
+    "connect": "repro.api",
+    "Connection": "repro.api",
+    "LocalConnection": "repro.api",
+    "TransactionContext": "repro.api",
+    "SessionLike": "repro.api",
+    "ISOLATION_CONFIGS": "repro.api",
+    "NetworkConnection": "repro.net.client",
+    "DatabaseServer": "repro.net.server",
+    "ReproError": "repro.errors",
+    "ERROR_CODES": "repro.errors",
+    "error_from_code": "repro.errors",
+    "RetryPolicy": "repro.workload.retry",
+    "Observability": "repro.obs",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ fires at most once per name
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -165,12 +165,13 @@ class _ControlledWaiter(Waiter):
         self.controller = controller
         self.tid = tid
 
-    def wait_any(self, wait: WaitOn) -> None:
+    def wait_any(self, wait: WaitOn, timeout=None) -> bool:
         for blocker in wait.blockers:
             blocker.add_resolution_callback(
                 lambda _txn: self.controller.mark_wakeable(self.tid)
             )
         self.controller.block(self.tid)
+        return True
 
 
 #: Statement kinds that are scheduling points by default.  Plain reads are
@@ -226,7 +227,7 @@ class InterleavingExplorer:
                 if kind in self.gate_kinds:
                     controller.gate(tid)
 
-            session = Session(
+            session = Session._internal(
                 db,
                 waiter=_ControlledWaiter(controller, tid),
                 statement_hook=statement_gate,

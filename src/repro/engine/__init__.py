@@ -12,10 +12,14 @@ Quick tour::
     db = Database([schema], EngineConfig.postgres())
     db.load_row("Checking", {"CustomerId": 1, "Balance": 100})
 
-    session = Session(db)
-    session.begin("deposit")
-    session.update("Checking", 1, lambda row: {"Balance": row["Balance"] + 10})
-    session.commit()
+    conn = repro.connect("local://", database=db)
+    with conn.transaction("deposit") as session:
+        session.update(
+            "Checking", 1, lambda row: {"Balance": row["Balance"] + 10}
+        )
+
+(:func:`repro.connect` is the blessed session entry point; constructing a
+:class:`Session` directly is deprecated.)
 """
 
 from repro.engine.clock import LogicalClock

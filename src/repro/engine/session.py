@@ -32,6 +32,7 @@ Two optional hooks make the session instrumentable without subclassing:
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Callable, Hashable, Mapping, Optional, TypeVar, Union
 
 from repro.engine.engine import Database, Row, WaitOn
@@ -54,14 +55,16 @@ class WouldBlock(EngineError):
 class Waiter:
     """Strategy for waiting until any of a set of transactions resolves.
 
-    ``wait_any`` may accept an optional ``timeout`` (seconds) and returns
-    falsy/None when the wake-up happened and ``False``-as-timed-out is
-    reported by returning ``False``.  Returning ``None`` (legacy waiters)
-    means "woke up normally" — the session treats only an explicit
-    ``False`` as an expired lock-wait timeout.
+    Contract (uniform across every implementation): ``wait_any`` blocks
+    until any blocker resolves or the optional ``timeout`` (seconds)
+    expires, and returns a ``bool`` — ``True`` when the wake-up happened
+    (a blocker resolved), ``False`` when the timeout expired first.
+    Implementations that never time out return ``True`` unconditionally;
+    implementations that never wait (:class:`NoWaitWaiter`) raise instead
+    of returning.
     """
 
-    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> "bool | None":
+    def wait_any(self, wait: WaitOn, timeout: Optional[float] = None) -> bool:
         raise NotImplementedError
 
 
@@ -83,7 +86,15 @@ class NoWaitWaiter(Waiter):
 
 
 class Session:
-    """One client connection executing a single transaction at a time."""
+    """One client connection executing a single transaction at a time.
+
+    .. deprecated::
+        Constructing a :class:`Session` directly is deprecated — the
+        blessed entry point is :func:`repro.api.connect`, whose
+        connections hand out sessions (and context-managed transactions)
+        with identical semantics against both the in-process and the
+        network backend.  Library internals use :meth:`_internal`.
+    """
 
     def __init__(
         self,
@@ -91,6 +102,35 @@ class Session:
         waiter: Optional[Waiter] = None,
         statement_hook: Optional[Callable[[str, Transaction], None]] = None,
         pre_commit_hook: Optional[Callable[[Transaction], None]] = None,
+    ) -> None:
+        warnings.warn(
+            "direct Session(...) construction is deprecated; use "
+            "repro.api.connect(...) and Connection.session() / "
+            "Connection.transaction() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._setup(db, waiter, statement_hook, pre_commit_hook)
+
+    @classmethod
+    def _internal(
+        cls,
+        db: Database,
+        waiter: Optional[Waiter] = None,
+        statement_hook: Optional[Callable[[str, Transaction], None]] = None,
+        pre_commit_hook: Optional[Callable[[Transaction], None]] = None,
+    ) -> "Session":
+        """Construct without the deprecation warning (library internals)."""
+        session = cls.__new__(cls)
+        session._setup(db, waiter, statement_hook, pre_commit_hook)
+        return session
+
+    def _setup(
+        self,
+        db: Database,
+        waiter: Optional[Waiter],
+        statement_hook: Optional[Callable[[str, Transaction], None]],
+        pre_commit_hook: Optional[Callable[[Transaction], None]],
     ) -> None:
         self.db = db
         self.waiter = waiter or ThreadedWaiter()
@@ -115,6 +155,11 @@ class Session:
             raise TransactionStateError("no transaction; call begin() first")
         return self.txn
 
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transaction is currently active (facade contract)."""
+        return self.txn is not None and self.txn.is_active
+
     def commit(self) -> None:
         txn = self.transaction
         if self.pre_commit_hook is not None and txn.needs_wal_flush:
@@ -124,6 +169,16 @@ class Session:
     def rollback(self) -> None:
         if self.txn is not None:
             self.db.abort(self.txn)
+
+    def close(self) -> None:
+        """Release the session; rolls back an active transaction.
+
+        Part of the facade session contract (network sessions return their
+        wire connection to the pool here); on an in-process session this is
+        rollback-if-active and the object stays technically usable.
+        """
+        if self.txn is not None and self.txn.is_active:
+            self.rollback()
 
     # ------------------------------------------------------------------
     # Statements
@@ -196,6 +251,23 @@ class Session:
         """
         return self.update(table, key, lambda row: {column: row[column]}, kind=kind)
 
+    def write(
+        self,
+        table: str,
+        key: Hashable,
+        row: Optional[Row],
+        *,
+        kind: str = "update",
+    ) -> None:
+        """Stage a full-row write (``row=None`` deletes) without reading.
+
+        The raw building block under :meth:`update`; exposed so the network
+        service layer can execute a client-composed read-merge-write with
+        the same engine footprint as a local :meth:`update`.
+        """
+        self._charge(kind)
+        self._run(lambda: self.db.write(self.transaction, table, key, row))
+
     def insert(self, table: str, row: Row, *, kind: str = "insert") -> None:
         self._charge(kind)
         self._run(lambda: self.db.insert(self.transaction, table, row))
@@ -241,7 +313,7 @@ class Session:
                     woke = self.waiter.wait_any(wait, timeout)
             finally:
                 self.db.end_wait(txn)
-            timed_out = woke is False
+            timed_out = not woke
         finally:
             if obs is not None:
                 obs.lock_wait_end(txn, wait, obs.now() - started, timed_out)

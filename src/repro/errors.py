@@ -1,4 +1,4 @@
-"""Exception hierarchy for the repro engine and analysis layers.
+"""Exception hierarchy for the repro engine, analysis and network layers.
 
 The hierarchy mirrors the error classes a real SI platform reports:
 
@@ -11,17 +11,38 @@ The hierarchy mirrors the error classes a real SI platform reports:
 * :class:`ApplicationRollback` is raised by transaction programs themselves
   (e.g. TransactSaving with an overdrawing amount); it is an intentional
   rollback, not a concurrency abort.
+
+Error codes (wire contract)
+---------------------------
+
+Every class carries a stable machine-readable ``code`` string — the
+equivalent of SQLSTATE.  The network layer (:mod:`repro.net`) serializes an
+exception as its code + message and the client reconstructs the *same*
+class via :func:`error_from_code`, so ``except SerializationFailure:``
+works identically against ``local://`` and ``tcp://`` backends.  Codes are
+part of the public API: never change one, only add.  Classes that do not
+define their own ``code`` inherit the nearest ancestor's and serialize as
+that ancestor (:class:`WouldBlock`, for instance, is a session-local
+control-flow signal and never crosses the wire).
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``code`` is the stable machine-readable identifier used by the wire
+    protocol; see the module docstring.
+    """
+
+    code = "error"
 
 
 class EngineError(ReproError):
     """Base class for errors raised by the storage/transaction engine."""
+
+    code = "engine"
 
 
 class TransactionAborted(EngineError):
@@ -35,6 +56,7 @@ class TransactionAborted(EngineError):
     """
 
     reason = "aborted"
+    code = "aborted"
 
 
 class SerializationFailure(TransactionAborted):
@@ -47,12 +69,14 @@ class SerializationFailure(TransactionAborted):
     """
 
     reason = "serialization"
+    code = "serialization"
 
 
 class DeadlockError(TransactionAborted):
     """The lock manager found a cycle in the waits-for graph."""
 
     reason = "deadlock"
+    code = "deadlock"
 
 
 class LockTimeout(TransactionAborted):
@@ -65,6 +89,7 @@ class LockTimeout(TransactionAborted):
     """
 
     reason = "lock-timeout"
+    code = "lock-timeout"
 
 
 class FaultInjected(TransactionAborted):
@@ -76,6 +101,7 @@ class FaultInjected(TransactionAborted):
     """
 
     reason = "fault"
+    code = "fault"
 
 
 class SsiAbort(SerializationFailure):
@@ -87,6 +113,7 @@ class SsiAbort(SerializationFailure):
     """
 
     reason = "ssi"
+    code = "ssi"
 
 
 class ApplicationRollback(ReproError):
@@ -97,6 +124,7 @@ class ApplicationRollback(ReproError):
     """
 
     reason = "rollback"
+    code = "rollback"
 
     def __init__(self, message: str = "") -> None:
         super().__init__(message or "application rollback")
@@ -104,6 +132,8 @@ class ApplicationRollback(ReproError):
 
 class IntegrityError(EngineError):
     """A schema constraint (primary key / unique index / type) was violated."""
+
+    code = "integrity"
 
 
 class DatabaseCrashed(EngineError):
@@ -115,26 +145,105 @@ class DatabaseCrashed(EngineError):
     database — it must wait for :meth:`~repro.engine.engine.Database.recover`.
     """
 
+    code = "crashed"
+
 
 class RecoveryError(EngineError):
     """WAL replay failed (corrupt prefix, non-monotonic timestamps, ...)."""
+
+    code = "recovery"
 
 
 class SchemaError(EngineError):
     """Unknown table/column, or an operation inconsistent with the schema."""
 
+    code = "schema"
+
 
 class TransactionStateError(EngineError):
     """An operation was issued on a finished or never-started transaction."""
+
+    code = "txn-state"
 
 
 class AnalysisError(ReproError):
     """Base class for errors in the static/dynamic analysis layers."""
 
+    code = "analysis"
+
 
 class SpecError(AnalysisError):
     """A :class:`~repro.core.specs.ProgramSpec` declaration is malformed."""
 
+    code = "spec"
+
 
 class SqlError(ReproError):
     """The mini SQL layer could not parse or execute a statement."""
+
+    code = "sql"
+
+
+class ProtocolError(ReproError):
+    """The wire protocol was violated (bad frame, unknown op, bad field).
+
+    Raised by both sides of a :mod:`repro.net` connection: by the client
+    when the server's bytes cannot be decoded, and round-tripped from the
+    server when a request was malformed (oversized frame, non-JSON payload,
+    unknown operation, missing argument).  A protocol error on the framing
+    layer poisons the connection — the peer closes it — while a
+    request-level protocol error leaves the connection usable.
+    """
+
+    code = "protocol"
+
+
+class ConnectionClosed(ReproError):
+    """The network peer went away (EOF, reset, or explicit shutdown).
+
+    Raised by the client when a request cannot be sent or its response
+    never arrives.  If a transaction was in flight, the server has aborted
+    it and released its locks — the request may or may not have executed,
+    so blind retry is only safe for idempotent operations (the closed-loop
+    drivers treat it as a failed attempt and start a fresh transaction).
+    """
+
+    code = "connection-closed"
+
+
+# ----------------------------------------------------------------------
+# Code registry (wire round-trip)
+# ----------------------------------------------------------------------
+def _build_registry() -> dict[str, type]:
+    registry: dict[str, type] = {}
+    stack: list[type] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        code = cls.__dict__.get("code")
+        if code is None:
+            continue  # inherits its ancestor's code; serializes as that
+        if code in registry and registry[code] is not cls:
+            raise RuntimeError(
+                f"duplicate error code {code!r}: "
+                f"{registry[code].__name__} vs {cls.__name__}"
+            )
+        registry[code] = cls
+    return registry
+
+
+#: ``code -> exception class`` for every class defining its own code.
+ERROR_CODES: dict[str, type] = _build_registry()
+
+
+def error_from_code(code: str, message: str = "") -> ReproError:
+    """Reconstruct the exception class registered for ``code``.
+
+    Unknown codes (a newer peer) degrade to a plain :class:`ReproError`
+    carrying the original code in the message, so nothing is silently
+    swallowed.
+    """
+    cls = ERROR_CODES.get(code)
+    if cls is None:
+        return ReproError(f"[{code}] {message}")
+    return cls(message)

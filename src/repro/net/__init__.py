@@ -1,0 +1,34 @@
+"""``repro.net`` — the network service layer (DESIGN.md §11).
+
+Server side: :class:`DatabaseServer` hosts one
+:class:`~repro.engine.engine.Database` behind a length-prefixed JSON
+protocol over TCP.  Client side: :class:`NetworkConnection` implements
+the :class:`repro.api.Connection` facade over a pool of framed sockets,
+so ``repro.connect("tcp://host:port")`` is a drop-in replacement for the
+in-process backend.
+
+The protocol itself (framing, operations, error round-trip) lives in
+:mod:`repro.net.protocol`.
+"""
+
+from repro.net.client import NetworkConnection, NetworkSession, WireConnection
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    REQUEST_OPS,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+)
+from repro.net.server import DatabaseServer
+
+__all__ = [
+    "DatabaseServer",
+    "DEFAULT_MAX_FRAME",
+    "FrameDecoder",
+    "NetworkConnection",
+    "NetworkSession",
+    "REQUEST_OPS",
+    "WireConnection",
+    "decode_payload",
+    "encode_frame",
+]

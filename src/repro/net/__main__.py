@@ -1,0 +1,83 @@
+"""``python -m repro.net`` — run a standalone SmallBank database server.
+
+Builds a populated SmallBank :class:`~repro.engine.engine.Database` and
+serves it over the wire protocol until stdin reaches EOF (the portable
+subprocess-control convention: the parent closes our stdin — or exits,
+which closes it too — and we shut down gracefully).
+
+Protocol with the parent process, line-oriented on stdout::
+
+    LISTENING <port>        once the socket is bound
+    STATS <json>            final server counters, after graceful shutdown
+
+Used by ``benchmarks/bench_net.py`` to measure the service layer from a
+*separate* process — client threads and the server loop each get their
+own interpreter (and GIL), exactly like a real deployment — and handy for
+manual experiments::
+
+    PYTHONPATH=src python -m repro.net --port 7654 --customers 100 &
+    PYTHONPATH=src python -c "
+    import repro
+    conn = repro.connect('tcp://127.0.0.1:7654')
+    print(conn.stats())"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import ISOLATION_CONFIGS
+from repro.net.server import DatabaseServer
+from repro.obs import Observability
+from repro.smallbank import PopulationConfig, build_database
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    parser.add_argument("--customers", type=int, default=100)
+    parser.add_argument(
+        "--isolation", default="si", choices=sorted(ISOLATION_CONFIGS)
+    )
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument(
+        "--reject", action="store_true",
+        help="refuse connections over the limit instead of queueing them",
+    )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="install an Observability bundle on the hosted database",
+    )
+    args = parser.parse_args(argv)
+
+    db = build_database(
+        ISOLATION_CONFIGS[args.isolation](),
+        PopulationConfig(customers=args.customers),
+    )
+    server = DatabaseServer(
+        db,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        backpressure=not args.reject,
+        obs=Observability() if args.obs else None,
+    ).start_in_thread()
+    print(f"LISTENING {server.port}", flush=True)
+    try:
+        sys.stdin.read()  # block until the parent closes our stdin
+    except KeyboardInterrupt:
+        pass
+    server.shutdown()
+    print(f"STATS {json.dumps(server.stats(), sort_keys=True)}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

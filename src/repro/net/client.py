@@ -1,0 +1,1004 @@
+"""``repro.net.client`` — the synchronous network backend of the facade.
+
+:class:`NetworkConnection` implements the :class:`repro.api.Connection`
+surface over a pool of :class:`WireConnection` sockets;
+:meth:`NetworkConnection.session` hands out a :class:`NetworkSession`
+that mirrors the statement surface of the in-process
+:class:`~repro.engine.session.Session`, so the SmallBank programs, the
+mini-SQL executor and the threaded driver run against it unmodified.
+
+Semantics notes
+---------------
+
+* One wire connection == one server session == at most one transaction,
+  exactly the engine's session model.  ``session()`` checks a wire out of
+  the pool; ``session.close()`` returns it (rolling back first if a
+  transaction is still open).  Broken wires are discarded, never pooled.
+* ``timeout`` bounds *connection establishment* (and pool checkout).
+  RPCs then block until the server answers: a lock wait on the server can
+  legitimately take as long as the engine's ``lock_timeout`` policy
+  allows, and cutting it short client-side would distort the measured
+  contention behaviour the reproduction exists to observe.
+* ``update(..., changes)`` with a callable is evaluated client-side: READ
+  the row, apply the callable, WRITE the merged row back — the same
+  read-then-write engine footprint a local ``update`` has.
+* Errors round-trip by class: a server-side
+  :class:`~repro.errors.SerializationFailure` raises as a
+  ``SerializationFailure`` here (see :mod:`repro.net.protocol`), so retry
+  policies behave identically over the wire.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Optional, Union
+
+from repro.api import Connection
+from repro.errors import (
+    ConnectionClosed,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+    TransactionStateError,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+    raise_error_payload,
+)
+from repro.sqlmini.ast import Select, params_in, statement_params
+from repro.sqlmini.executor import StatementResult, parse_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids workload cycle)
+    from repro.obs import Observability
+    from repro.workload.retry import RetryPolicy
+
+Row = dict
+Changes = Union[Mapping[str, object], Callable[[Row], Mapping[str, object]]]
+
+
+class WireConnection:
+    """One framed socket to a :class:`repro.net.DatabaseServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = 10.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.max_frame = max_frame
+        self.broken = False
+        try:
+            self.sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from None
+        # Connected: from here on RPCs block until the server answers (see
+        # module docstring for why there is no read timeout).  Frames are
+        # small and latency-bound: disable Nagle.
+        self.sock.settimeout(None)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self._decoder = FrameDecoder(max_frame)
+        self._inbox: "list[dict]" = []
+        #: Encoded-but-unsent request frames (pipelined statements).
+        #: Flushed as ONE ``sendall`` by the next synchronous RPC, so a
+        #: whole batch reaches the server in a single segment and is
+        #: answered in a single reply burst — one round trip total.
+        self._sendbuf: "list[bytes]" = []
+        #: Responses owed to fire-and-forget requests (deferred-ack
+        #: read-only COMMITs, see :meth:`NetworkSession.commit`): the
+        #: next read on this wire silently consumes them first.
+        self._owed = 0
+
+    def _read_response(self) -> dict:
+        """One buffered-frame read (usually a single ``recv`` syscall)."""
+        if self._sendbuf:  # never block on responses to unsent requests
+            self._flush_locked()
+        while True:
+            while not self._inbox:
+                try:
+                    chunk = self.sock.recv(65536)
+                except OSError as exc:
+                    raise ConnectionClosed(
+                        f"socket error while receiving: {exc}"
+                    ) from None
+                if not chunk:
+                    raise ConnectionClosed("server closed the connection")
+                self._inbox.extend(self._decoder.feed(chunk))
+            frame = self._inbox.pop(0)
+            if self._owed:
+                # Deferred ack: only ever issued for operations that
+                # cannot fail (read-only SI COMMIT), so an error here is
+                # a protocol invariant violation, not a request outcome.
+                self._owed -= 1
+                if not frame.get("ok"):
+                    raise ProtocolError(
+                        "deferred-ack request failed on the server: "
+                        f"{frame.get('error')!r}"
+                    )
+                continue
+            return frame
+
+    def _flush_locked(self) -> None:
+        data = b"".join(self._sendbuf)
+        self._sendbuf.clear()
+        try:
+            self.sock.sendall(data)
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ConnectionClosed(f"socket error while sending: {exc}") from None
+
+    def buffer(self, op: str, args: Mapping[str, object]) -> dict:
+        """Encode one request and queue it for the next flush.
+
+        Returns the message dict so a caller may amend-and-re-encode it
+        while it is still the last unsent frame (COMMIT piggybacking —
+        see :meth:`NetworkSession.commit`).
+        """
+        if self.broken:
+            raise ConnectionClosed("wire connection already failed")
+        message: dict = {"op": op}
+        message.update(args)
+        self._sendbuf.append(encode_frame(message))
+        return message
+
+    def send(self, op: str, args: Mapping[str, object]) -> None:
+        """Flush queued frames plus this request in one ``sendall``."""
+        self.buffer(op, args)
+        try:
+            with self._lock:
+                self._flush_locked()
+        except (ConnectionClosed, ProtocolError):
+            self.broken = True
+            raise
+
+    def recv(self) -> dict:
+        """Read one raw response frame (no ``ok`` interpretation)."""
+        try:
+            with self._lock:
+                return self._read_response()
+        except (ConnectionClosed, ProtocolError):
+            self.broken = True
+            raise
+
+    def call(self, op: str, args: Mapping[str, object]) -> dict:
+        """One request/response round trip; raises the server's error."""
+        self.buffer(op, args)
+        try:
+            with self._lock:
+                self._flush_locked()
+                response = self._read_response()
+        except (ConnectionClosed, ProtocolError):
+            self.broken = True
+            raise
+        if response.get("ok"):
+            return response
+        raise_error_payload(response.get("error"))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        self.broken = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class _RemoteTransaction:
+    """Client-side stand-in for the engine's ``Transaction`` handle.
+
+    ``txid`` / ``snapshot_ts`` are ``None`` until the deferred BEGIN
+    reaches the server (piggybacked on the transaction's first statement
+    — see :meth:`NetworkSession.begin`).
+    """
+
+    __slots__ = ("txid", "snapshot_ts", "label", "_session")
+
+    def __init__(
+        self,
+        txid: Optional[int],
+        snapshot_ts: Optional[int],
+        label: str,
+        session: "NetworkSession",
+    ) -> None:
+        self.txid = txid
+        self.snapshot_ts = snapshot_ts
+        self.label = label
+        self._session = session
+
+    @property
+    def is_active(self) -> bool:
+        return self._session.in_transaction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteTransaction txid={self.txid} label={self.label!r}>"
+
+
+class _PendingStatementResult:
+    """Lazy result of a pipelined (fire-and-forget) statement.
+
+    Non-SELECT statements are shipped without waiting for their response;
+    the response is collected at the next synchronous RPC (usually the
+    COMMIT), batching round trips.  SmallBank programs never look at
+    UPDATE results, so the laziness is invisible — but a caller that does
+    touch ``rows`` / ``rowcount`` forces the drain and sees the same
+    values (and the same errors) an eager call would have produced.
+    """
+
+    __slots__ = ("_session", "_result", "_error", "_sid_key", "_params", "_delta")
+
+    def __init__(
+        self,
+        session: "NetworkSession",
+        sid_key: "Optional[tuple[str, Optional[str]]]" = None,
+    ) -> None:
+        self._session = session
+        self._result: Optional[StatementResult] = None
+        self._error: Optional[dict] = None
+        self._sid_key = sid_key
+        #: For pipelined SELECTs: the program's params dict, written back
+        #: (real values replacing :class:`_LazyBinding` placeholders) when
+        #: the response arrives.
+        self._params: "Optional[dict[str, object]]" = None
+        self._delta: "Optional[dict]" = None
+
+    def _resolve(self, response: dict) -> None:
+        if response.get("ok"):
+            self._result = StatementResult(
+                rows=list(response.get("rows") or []),
+                rowcount=int(response.get("rowcount") or 0),
+            )
+            delta = response.get("params")
+            self._delta = delta if isinstance(delta, dict) else {}
+            if self._params is not None:
+                self._params.update(self._delta)
+            if self._sid_key is not None and "sid" in response:
+                self._session._connection._sids[self._sid_key] = int(
+                    response["sid"]
+                )
+        else:
+            self._error = dict(response.get("error") or {})
+
+    def _force(self) -> StatementResult:
+        if self._result is None and self._error is None:
+            self._session._sync()
+        if self._error is not None:
+            raise_error_payload(self._error)
+        assert self._result is not None
+        return self._result
+
+    def _binding(self, key: str) -> object:
+        """The value the statement bound for ``INTO :key`` (forces)."""
+        self._force()
+        assert self._delta is not None
+        if key in self._delta:
+            return self._delta[key]
+        # The SELECT matched no row, so it bound nothing: surface the
+        # same KeyError a local program reading the never-set parameter
+        # out of its params dict would have seen.
+        raise KeyError(key)
+
+    @property
+    def rows(self) -> list:
+        return self._force().rows
+
+    @property
+    def rowcount(self) -> int:
+        return self._force().rowcount
+
+
+class _LazyBinding:
+    """Placeholder for an ``INTO :var`` binding of a pipelined SELECT.
+
+    Any *value* use — arithmetic, ``float()``/``int()``, comparison,
+    ``str()``, formatting, truthiness — forces the pipeline drain and
+    behaves like the real bound value.  Identity tests (``x is None``)
+    cannot be intercepted and do **not** force, which is exactly why only
+    *dependent* SELECTs are pipelined (see
+    :meth:`NetworkSession.execute_prepared`): the idiomatic existence
+    check ``params.get("x") is None`` only ever targets the synchronous,
+    externally-keyed lookups.  ``repr()`` deliberately never forces so
+    debuggers and log statements stay side-effect-free.
+    """
+
+    __slots__ = ("_placeholder", "_key")
+
+    def __init__(self, placeholder: _PendingStatementResult, key: str) -> None:
+        self._placeholder = placeholder
+        self._key = key
+
+    def _value(self) -> object:
+        return self._placeholder._binding(self._key)
+
+    def __repr__(self) -> str:
+        if self._placeholder._delta is not None and self._key in self._placeholder._delta:
+            return repr(self._placeholder._delta[self._key])
+        return f"<pending :{self._key}>"
+
+    # Conversions / formatting (all force)
+    def __float__(self):
+        return float(self._value())  # type: ignore[arg-type]
+
+    def __int__(self):
+        return int(self._value())  # type: ignore[arg-type]
+
+    def __index__(self):
+        return int(self._value())  # type: ignore[arg-type]
+
+    def __bool__(self):
+        return bool(self._value())
+
+    def __str__(self):
+        return str(self._value())
+
+    def __format__(self, spec):
+        return format(self._value(), spec)
+
+    def __hash__(self):
+        return hash(self._value())
+
+    # Comparisons
+    def __eq__(self, other):
+        return self._value() == _unwrap(other)
+
+    def __ne__(self, other):
+        return self._value() != _unwrap(other)
+
+    def __lt__(self, other):
+        return self._value() < _unwrap(other)  # type: ignore[operator]
+
+    def __le__(self, other):
+        return self._value() <= _unwrap(other)  # type: ignore[operator]
+
+    def __gt__(self, other):
+        return self._value() > _unwrap(other)  # type: ignore[operator]
+
+    def __ge__(self, other):
+        return self._value() >= _unwrap(other)  # type: ignore[operator]
+
+    # Arithmetic
+    def __add__(self, other):
+        return self._value() + _unwrap(other)  # type: ignore[operator]
+
+    def __radd__(self, other):
+        return _unwrap(other) + self._value()  # type: ignore[operator]
+
+    def __sub__(self, other):
+        return self._value() - _unwrap(other)  # type: ignore[operator]
+
+    def __rsub__(self, other):
+        return _unwrap(other) - self._value()  # type: ignore[operator]
+
+    def __mul__(self, other):
+        return self._value() * _unwrap(other)  # type: ignore[operator]
+
+    def __rmul__(self, other):
+        return _unwrap(other) * self._value()  # type: ignore[operator]
+
+    def __truediv__(self, other):
+        return self._value() / _unwrap(other)  # type: ignore[operator]
+
+    def __rtruediv__(self, other):
+        return _unwrap(other) / self._value()  # type: ignore[operator]
+
+    def __neg__(self):
+        return -self._value()  # type: ignore[operator]
+
+    def __abs__(self):
+        return abs(self._value())  # type: ignore[arg-type]
+
+    def __round__(self, ndigits=None):
+        return round(self._value(), ndigits)  # type: ignore[arg-type]
+
+
+def _unwrap(value: object) -> object:
+    """Resolve ``value`` if it is a lazy binding (forcing its pipeline)."""
+    if isinstance(value, _LazyBinding):
+        return value._value()
+    return value
+
+
+class NetworkSession:
+    """Session facade speaking the wire protocol (see module docstring).
+
+    Statement ``kind`` tags are accepted for signature parity with the
+    in-process session but stay client-side: the server's sessions carry
+    no statement hooks (those exist for the simulator's cost model).
+    """
+
+    def __init__(self, connection: "NetworkConnection", wire: WireConnection) -> None:
+        self._connection = connection
+        self._wire: Optional[WireConnection] = wire
+        self._in_txn = False
+        self._txn: Optional[_RemoteTransaction] = None
+        self._pending_begin: Optional[str] = None
+        #: Placeholders for pipelined requests sent but not yet answered,
+        #: in send order (responses arrive in the same order).
+        self._pipeline: "list[_PendingStatementResult]" = []
+        #: Parameter names bound by ``INTO`` so far in the current
+        #: transaction — the dependency information behind the SELECT
+        #: pipelining policy (see :meth:`execute_prepared`).
+        self._into_bound: "set[str]" = set()
+        #: Message dict of the newest queued-but-unsent pipelined frame
+        #: (and its index in the wire's send buffer); ``commit`` rewrites
+        #: it in place to piggyback the COMMIT.
+        self._tail: "Optional[dict]" = None
+        self._tail_pos = 0
+        #: False once the current transaction has taken any lock or
+        #: staged any write — gates the deferred-ack COMMIT shortcut.
+        self._readonly = True
+
+    # ------------------------------------------------------------------
+    def _stamp_begin(self, response: dict) -> None:
+        txn = self._txn
+        if txn is not None and "begin_txid" in response:
+            txn.txid = int(response["begin_txid"])
+            txn.snapshot_ts = int(response["begin_snapshot_ts"])
+
+    def _drain_pipeline(self, wire: WireConnection, extra: int = 0) -> "list[dict]":
+        """Read the responses owed to pipelined requests (+ ``extra``).
+
+        Resolves every placeholder in FIFO order; raises the *first*
+        pipelined error after all owed responses are consumed (they are
+        already on the wire — leaving them unread would corrupt the
+        request/response pairing of the next RPC).  Returns the ``extra``
+        trailing responses.
+        """
+        pending, self._pipeline = self._pipeline, []
+        self._tail = None
+        responses = [wire.recv() for _ in range(len(pending) + extra)]
+        first_error: Optional[dict] = None
+        for placeholder, response in zip(pending, responses):
+            placeholder._resolve(response)
+            self._stamp_begin(response)
+            if not response.get("ok") and first_error is None:
+                first_error = dict(response.get("error") or {})
+        if first_error is not None:
+            raise_error_payload(first_error)
+        return responses[len(pending):]
+
+    def _call(self, op: str, **args: object) -> dict:
+        wire = self._wire
+        if wire is None:
+            raise ConnectionClosed("session is closed")
+        if self._pending_begin is not None:
+            # Deferred BEGIN: piggybacked on the transaction's first RPC
+            # (the server begins before executing the operation), saving a
+            # round trip per transaction.  Whatever the operation's
+            # outcome, the BEGIN itself has run once the server answers.
+            args["begin"] = self._pending_begin
+            self._pending_begin = None
+        obs = self._connection.obs
+        started = obs.now() if obs is not None else 0.0
+        ok = True
+        try:
+            if self._pipeline:
+                # Send first, then collect the pipelined acks together
+                # with our own response: one batched round trip.
+                wire.send(op, args)
+                (response,) = self._drain_pipeline(wire, extra=1)
+                if not response.get("ok"):
+                    raise_error_payload(response.get("error"))
+            else:
+                response = wire.call(op, args)
+            self._stamp_begin(response)
+            return response
+        except TransactionAborted:
+            # The server aborted the transaction (deadlock victim, SSI
+            # certifier, first-updater-wins, ...): mirror the local
+            # session, whose transaction handle goes inactive.
+            ok = False
+            self._in_txn = False
+            raise
+        except (ConnectionClosed, ProtocolError):
+            ok = False
+            self._in_txn = False
+            self._wire = None
+            self._pipeline = []
+            self._connection._discard(wire)
+            raise
+        except Exception:
+            ok = False
+            raise
+        finally:
+            if obs is not None:
+                obs.net_client_rpc(op, obs.now() - started, ok)
+
+    def _send_pipelined(
+        self,
+        op: str,
+        _sid_key: "Optional[tuple[str, Optional[str]]]" = None,
+        **args: object,
+    ) -> _PendingStatementResult:
+        """Fire one request without waiting; response owed to ``_pipeline``."""
+        wire = self._wire
+        if wire is None:
+            raise ConnectionClosed("session is closed")
+        if self._pending_begin is not None:
+            args["begin"] = self._pending_begin
+            self._pending_begin = None
+        placeholder = _PendingStatementResult(self, _sid_key)
+        try:
+            # Queued, not sent: the whole batch leaves in one ``sendall``
+            # at the next synchronous RPC (or pipeline drain).
+            self._tail = wire.buffer(op, args)
+            self._tail_pos = len(wire._sendbuf) - 1
+        except (ConnectionClosed, ProtocolError):
+            self._in_txn = False
+            self._wire = None
+            self._pipeline = []
+            self._connection._discard(wire)
+            raise
+        self._pipeline.append(placeholder)
+        return placeholder
+
+    def _sync(self) -> None:
+        """Collect every outstanding pipelined response (no new request)."""
+        wire = self._wire
+        if wire is None or not self._pipeline:
+            return
+        try:
+            self._drain_pipeline(wire)
+        except TransactionAborted:
+            self._in_txn = False
+            raise
+        except (ConnectionClosed, ProtocolError):
+            self._in_txn = False
+            self._wire = None
+            self._pipeline = []
+            self._connection._discard(wire)
+            raise
+
+    # ------------------------------------------------------------------
+    # Transaction control (facade session contract)
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "") -> _RemoteTransaction:
+        """Open a transaction; the BEGIN itself is deferred.
+
+        No RPC happens here: the server-side BEGIN rides on the
+        transaction's first statement (or its COMMIT, for an empty
+        transaction), so the returned handle's ``txid`` / ``snapshot_ts``
+        stay ``None`` until then.  The snapshot is therefore taken at the
+        first statement — indistinguishable under snapshot isolation,
+        since an idle transaction cannot observe the gap.
+        """
+        if self._in_txn:
+            raise TransactionStateError(
+                "session already has an active transaction"
+            )
+        self._pending_begin = label
+        self._in_txn = True
+        self._into_bound.clear()
+        self._readonly = True
+        self._txn = _RemoteTransaction(None, None, label, self)
+        return self._txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    def commit(self) -> None:
+        """Commit; three wire-level shortcuts cover the common shapes.
+
+        * **Empty transaction** — the deferred BEGIN never reached the
+          server, so there is nothing to commit: resolved client-side.
+        * **Piggybacked COMMIT** — when the transaction ends with
+          queued-but-unsent pipelined statements (the common writing
+          shape), the COMMIT rides as a flag on the *last* queued EXEC:
+          the server executes the statement, commits, and answers both
+          in one response (see ``_op_exec``), saving a request per
+          writing transaction.  A statement failure anywhere in the
+          batch surfaces here exactly as it would from a standalone
+          COMMIT — and the server rolls back on a failed commit-carrying
+          EXEC, so the wire comes back transaction-free either way.
+        * **Deferred read-only COMMIT** — under plain SI a transaction
+          that took no lock and staged no write commits unconditionally
+          (no validation, nothing for a peer to wait on), so the COMMIT
+          frame is merely *queued*: it leaves in the same segment as the
+          wire's next request (often a later transaction's first
+          statement, after the wire was pooled and checked out again)
+          and its ack is consumed silently before that request's
+          response — zero extra round trips, zero extra syscalls.
+          Gated on the server advertising ``isolation == "si"``: under
+          S2PL the commit releases read locks peers may be queued on,
+          and under SSI it can fail certification — both need the
+          synchronous ack.  The one observable cost: the server-side
+          transaction stays open until the wire's next use (or EOF, on
+          close — equivalent to a rollback, which for a read-only
+          transaction is indistinguishable from the commit).
+        """
+        try:
+            wire = self._wire
+            tail = self._tail
+            if self._pending_begin is not None:
+                self._pending_begin = None
+            elif (
+                wire is not None
+                and tail is not None
+                and self._pipeline
+                and len(wire._sendbuf) == self._tail_pos + 1
+            ):
+                tail["commit"] = True
+                wire._sendbuf[self._tail_pos] = encode_frame(tail)
+                self._tail = None
+                self._sync()
+            elif (
+                wire is not None
+                and self._readonly
+                and not self._pipeline
+                and self._connection._isolation == "si"
+            ):
+                try:
+                    wire.buffer("COMMIT", {})
+                    wire._owed += 1
+                except (ConnectionClosed, ProtocolError):
+                    self._wire = None
+                    self._pipeline = []
+                    self._connection._discard(wire)
+                    raise
+            else:
+                self._call("COMMIT")
+        finally:
+            self._in_txn = False
+
+    def rollback(self) -> None:
+        if self._wire is None:
+            return
+        if self._pending_begin is not None:
+            # The BEGIN never reached the server: nothing to roll back.
+            self._pending_begin = None
+            self._in_txn = False
+            return
+        try:
+            self._call("ROLLBACK")
+        finally:
+            self._in_txn = False
+
+    def close(self) -> None:
+        """Roll back if needed and return the wire to the pool."""
+        wire = self._wire
+        if wire is None:
+            return
+        try:
+            if self._in_txn:
+                self.rollback()
+            elif self._pipeline:
+                # Owed responses must be consumed before the wire can be
+                # pooled; their errors are moot on close (like rollback).
+                self._sync()
+        except (ConnectionClosed, TransactionAborted, ReproError):
+            if self._wire is None:
+                return  # _call already discarded the wire
+        finally:
+            self._in_txn = False
+        if self._wire is None:
+            return  # discarded during rollback
+        self._wire = None
+        self._connection._release(wire)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def select(
+        self, table: str, key: Hashable, *, kind: str = "select"
+    ) -> Optional[Row]:
+        return self._call("READ", table=table, key=key)["row"]
+
+    def select_for_update(
+        self, table: str, key: Hashable, *, kind: str = "select-for-update"
+    ) -> Optional[Row]:
+        self._readonly = False
+        return self._call("SELECT_FOR_UPDATE", table=table, key=key)["row"]
+
+    def lookup_unique(
+        self, table: str, column: str, value: Hashable, *, kind: str = "select"
+    ) -> Optional[tuple[Hashable, Row]]:
+        found = self._call(
+            "LOOKUP_UNIQUE", table=table, column=column, value=value
+        )["found"]
+        if found is None:
+            return None
+        key, row = found
+        return key, row
+
+    def scan(
+        self,
+        table: str,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        description: str = "<scan>",
+        *,
+        kind: str = "scan",
+    ) -> list[tuple[Hashable, Row]]:
+        # The engine's scan reads every row and filters afterwards, so
+        # applying the (unserializable) predicate client-side leaves the
+        # server-side read footprint identical.
+        matches = self._call("SCAN", table=table, description=description)["rows"]
+        rows = [(key, row) for key, row in matches]
+        if predicate is not None:
+            rows = [(key, row) for key, row in rows if predicate(row)]
+        return rows
+
+    def update(
+        self, table: str, key: Hashable, changes: Changes, *, kind: str = "update"
+    ) -> bool:
+        current = self._call("READ", table=table, key=key)["row"]
+        if current is None:
+            return False
+        new_values = changes(current) if callable(changes) else changes
+        merged = dict(current)
+        merged.update(new_values)
+        self._readonly = False
+        self._call("WRITE", table=table, key=key, row=merged, kind=kind)
+        return True
+
+    def identity_update(
+        self, table: str, key: Hashable, column: str, *, kind: str = "identity-update"
+    ) -> bool:
+        return self.update(table, key, lambda row: {column: row[column]}, kind=kind)
+
+    def write(
+        self,
+        table: str,
+        key: Hashable,
+        row: Optional[Row],
+        *,
+        kind: str = "update",
+    ) -> None:
+        self._readonly = False
+        self._call("WRITE", table=table, key=key, row=row, kind=kind)
+
+    def insert(self, table: str, row: Row, *, kind: str = "insert") -> None:
+        self._readonly = False
+        self._call("INSERT", table=table, row=row)
+
+    def delete(self, table: str, key: Hashable, *, kind: str = "delete") -> None:
+        self._readonly = False
+        self._call("DELETE", table=table, key=key)
+
+    # ------------------------------------------------------------------
+    # Mini-SQL (PreparedStatement.execute dispatches here)
+    # ------------------------------------------------------------------
+    def _statement_meta(
+        self, sql: str
+    ) -> "tuple[bool, tuple[str, ...], frozenset[str], frozenset[str], bool]":
+        """``(is_select, into, where_params, needed_params, locks)``.
+
+        Cached on the connection keyed by the SQL text, so the per-call
+        hot path is one string-keyed dict hit — no parser lock, no
+        re-hashing of statement dataclasses.  ``locks`` is True for any
+        statement that takes a lock or stages a write (everything except
+        a plain SELECT) — the read-only tracking behind the deferred-ack
+        COMMIT.
+        """
+        meta = self._connection._stmt_meta.get(sql)
+        if meta is None:
+            statement = parse_cached(sql)
+            is_select = isinstance(statement, Select)
+            meta = (
+                is_select,
+                statement.into if is_select else (),
+                params_in(statement.where) if is_select else frozenset(),
+                statement_params(statement),
+                not is_select or statement.for_update,
+            )
+            self._connection._stmt_meta[sql] = meta
+        return meta
+
+    def execute_prepared(
+        self,
+        sql: str,
+        kind: Optional[str],
+        params: "dict[str, object]",
+    ) -> StatementResult:
+        """Ship one prepared statement; planning happens server-side.
+
+        ``SELECT ... INTO :var`` bindings round-trip: the server returns
+        the updated parameter map and it is merged into ``params`` in
+        place, matching the local executor's mutation contract.
+
+        Two classes of statement are *pipelined* — sent immediately, with
+        the response collected at the next synchronous RPC (usually the
+        COMMIT), batching round trips:
+
+        * **non-SELECT statements** (the mini-SQL grammar gives them no
+          ``INTO`` bindings, so deferral never delays a parameter the
+          program could read next), and
+        * **dependent SELECTs** — SELECTs whose WHERE parameters were
+          bound by an earlier ``INTO`` of the same transaction.  Their own
+          ``INTO`` targets materialize as :class:`_LazyBinding`
+          placeholders that force the drain on first *value* use.
+          Externally-keyed lookups (WHERE on program inputs) stay
+          synchronous because their bindings idiomatically feed identity
+          checks (``params.get("x") is None``), which a placeholder
+          cannot intercept.
+
+        A pipelined statement's failure (e.g. a first-updater-wins abort)
+        surfaces at the next RPC of the same transaction — always before
+        anything commits.
+        """
+        sid_key = (sql, kind)
+        sid = self._connection._sids.get(sid_key)
+        is_select, into, where_params, needed, locks = self._statement_meta(sql)
+        if locks:
+            self._readonly = False
+        # Ship only the parameters the statement reads (lazies resolved).
+        # Small frames matter less than the side effect: an *unrelated*
+        # lazy binding sitting in the same dict never forces a premature
+        # pipeline drain, while one the statement genuinely reads is a
+        # true dependency chain and forces its pipeline first (SmallBank
+        # never does this — values are consumed via ``float()`` before
+        # reuse — but the facade must not depend on that).
+        clean = {name: _unwrap(params[name]) for name in needed if name in params}
+        if self._in_txn and (not is_select or where_params & self._into_bound):
+            if sid is not None:
+                placeholder = self._send_pipelined("EXEC", sid=sid, params=clean)
+            else:
+                placeholder = self._send_pipelined(
+                    "EXEC", sql=sql, kind=kind, params=clean, _sid_key=sid_key
+                )
+            if into:
+                placeholder._params = params
+                self._into_bound.update(into)
+                for key in into:
+                    params[key] = _LazyBinding(placeholder, key)
+            return placeholder
+        if sid is not None:
+            response = self._call("EXEC", sid=sid, params=clean)
+        else:
+            response = self._call("EXEC", sql=sql, kind=kind, params=clean)
+            if "sid" in response:
+                self._connection._sids[sid_key] = int(response["sid"])
+        if is_select and self._in_txn:
+            self._into_bound.update(into)
+        returned = response.get("params")
+        if isinstance(returned, dict):
+            params.update(returned)
+        return StatementResult(
+            rows=list(response.get("rows") or []),
+            rowcount=int(response.get("rowcount") or 0),
+        )
+
+    def prepare_remote(self, sql: str, kind: Optional[str] = None) -> str:
+        """Warm the server's statement cache; returns the statement kind."""
+        response = self._call("PREPARE", sql=sql, kind=kind)
+        if "sid" in response:
+            self._connection._sids[(sql, kind)] = int(response["sid"])
+        return str(response["kind"])
+
+
+class NetworkConnection(Connection):
+    """Pooled facade connection to a running :class:`DatabaseServer`.
+
+    ``pool_size`` bounds concurrent checked-out sessions; a ``session()``
+    call past the bound blocks until one is returned (up to ``timeout``
+    seconds, then :class:`~repro.errors.ConnectionClosed`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry_policy: "Optional[RetryPolicy]" = None,
+        obs: "Observability | None" = None,
+        pool_size: int = 8,
+        timeout: Optional[float] = 10.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        url: str = "",
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        self.host = host
+        self.port = port
+        self.retry_policy = retry_policy
+        self.obs = obs
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.max_frame = max_frame
+        self.url = url or f"tcp://{host}:{port}"
+        self._idle: list[WireConnection] = []
+        self._lock = threading.Lock()
+        self._slots = threading.Semaphore(pool_size)
+        self._closed = False
+        #: Client-side statement-id cache, (sql, kind) -> server sid.
+        #: Shared by every session: sids are server-global, and the pool
+        #: only ever dials one server.  (Plain dict: GIL-atomic get/set,
+        #: and a lost race merely re-sends the SQL text once.)
+        self._sids: "dict[tuple[str, Optional[str]], int]" = {}
+        #: Client-side statement metadata cache, sql -> (is_select, into,
+        #: where_params, needed_params, locks); see ``_statement_meta``.
+        self._stmt_meta: "dict[str, tuple]" = {}
+        #: The server's isolation regime (``"si"`` / ``"s2pl"`` /
+        #: ``"ssi"``), learnt from STATS when the first wire is dialled;
+        #: ``None`` until then (shortcuts gated on it stay off).
+        self._isolation: "Optional[str]" = None
+
+    # --- pool plumbing --------------------------------------------------
+    def _acquire(self) -> WireConnection:
+        if self._closed:
+            raise ConnectionClosed(f"connection {self.url} is closed")
+        acquired = (
+            self._slots.acquire(timeout=self.timeout)
+            if self.timeout is not None
+            else self._slots.acquire()
+        )
+        if not acquired:
+            raise ConnectionClosed(
+                f"connection pool exhausted ({self.pool_size} wire "
+                f"connections all checked out for {self.timeout}s)"
+            )
+        with self._lock:
+            wire = self._idle.pop() if self._idle else None
+        if wire is not None and not wire.broken:
+            return wire
+        if wire is not None:
+            wire.close()
+        wire = None
+        try:
+            wire = WireConnection(
+                self.host, self.port,
+                timeout=self.timeout, max_frame=self.max_frame,
+            )
+            if self._isolation is None:
+                # One-time server handshake (first wire only): the
+                # isolation regime gates the deferred-ack COMMIT.
+                stats = wire.call("STATS", {}).get("stats") or {}
+                self._isolation = str(stats.get("isolation") or "")
+            return wire
+        except BaseException:
+            if wire is not None:
+                wire.close()
+            self._slots.release()
+            raise
+
+    def _release(self, wire: WireConnection) -> None:
+        returned = False
+        if not wire.broken:
+            with self._lock:
+                if not self._closed:
+                    self._idle.append(wire)
+                    returned = True
+        if not returned:
+            wire.close()
+        self._slots.release()
+
+    def _discard(self, wire: WireConnection) -> None:
+        wire.close()
+        self._slots.release()
+
+    def _call_once(self, op: str) -> dict:
+        wire = self._acquire()
+        try:
+            response = wire.call(op, {})
+        except BaseException:
+            self._discard(wire)
+            raise
+        self._release(wire)
+        return response
+
+    # --- Connection surface ----------------------------------------------
+    def session(self) -> NetworkSession:
+        return NetworkSession(self, self._acquire())
+
+    def ping(self) -> bool:
+        try:
+            return bool(self._call_once("PING").get("pong"))
+        except ConnectionClosed:
+            return False
+
+    def stats(self) -> dict:
+        stats = dict(self._call_once("STATS")["stats"])
+        stats["backend"] = "network"
+        return stats
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for wire in idle:
+            wire.close()

@@ -1,0 +1,683 @@
+"""``repro.net.server`` — asyncio TCP front end for a :class:`Database`.
+
+Architecture (DESIGN.md §11)
+----------------------------
+
+The event loop owns *framing, dispatch and connection lifecycle*.  Every
+accepted connection gets
+
+* one engine :class:`~repro.engine.session.Session` (per-connection
+  sessions: one transaction at a time, exactly the paper's client model),
+* one single-thread executor for the operations that genuinely block.
+
+The server speaks the protocol at the transport level
+(:class:`asyncio.Protocol` + :class:`~repro.net.protocol.FrameDecoder`)
+rather than through ``StreamReader`` — request/response round trips are
+latency-bound, and skipping the stream/coroutine machinery roughly halves
+the per-RPC overhead.
+
+**Inline fast path.**  Engine operations may block (lock waits use
+:class:`ThreadedWaiter`), and a blocking call on the loop thread would
+deadlock the whole server the moment two clients wait on each other.  But
+the engine core is non-blocking by design: an operation that cannot
+proceed returns ``WaitOn`` *instead of* applying itself.  So each request
+is first attempted inline on the loop thread with a
+:class:`~repro.engine.session.NoWaitWaiter`; if it raises
+:class:`~repro.engine.session.WouldBlock`, the same request is re-run on
+the connection's worker thread with a blocking waiter.  Only contended
+operations (and COMMITs that must flush the WAL, which block internally
+in the group-commit buffer) pay for the thread hop.  Requests *within*
+one connection stay strictly ordered either way.
+
+Robustness contract:
+
+* a client that disconnects mid-transaction has its transaction aborted
+  and every row lock / stripe released before the connection is reaped;
+* a framing violation (oversized length, non-JSON payload) poisons only
+  that connection: best-effort error frame, then close;
+* a request-level failure (unknown op, engine error) is an error response
+  and the connection stays usable — engine errors round-trip losslessly
+  via their stable ``code`` (:mod:`repro.net.protocol`);
+* graceful shutdown stops accepting, aborts every in-flight transaction
+  (which also wakes any lock-waiting worker), drains the handlers and
+  asserts nothing leaked (``stats()["connections_active"] == 0``).
+
+``max_connections`` bounds concurrent clients; with ``backpressure=True``
+(default) excess connections are parked (reads paused) until a slot
+frees, with ``backpressure=False`` they are refused with an error frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Optional
+
+from repro.engine.engine import Database
+from repro.engine.session import NoWaitWaiter, Session, WouldBlock
+from repro.errors import (
+    ConnectionClosed,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+    error_payload,
+)
+from repro.sqlmini import PreparedStatement
+from repro.sqlmini.ast import Select
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: Shared stateless waiter for the inline fast path (see ``_serve``).
+_NOWAIT = NoWaitWaiter()
+
+
+class _ClientConnection:
+    """Per-connection server state."""
+
+    def __init__(self, conn_id: int, session: Session) -> None:
+        self.conn_id = conn_id
+        self.session = session  # one in-flight operation at a time
+        self.blocking_waiter = session.waiter
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-net-conn-{conn_id}"
+        )
+
+
+class _ServerProtocol(asyncio.Protocol):
+    """One accepted socket: framing, ordering, admission."""
+
+    def __init__(self, server: "DatabaseServer") -> None:
+        self.server = server
+        self.transport: Optional[asyncio.Transport] = None
+        self.decoder = FrameDecoder(server.max_frame)
+        self.pending: "deque[dict]" = deque()
+        self.conn: Optional[_ClientConnection] = None
+        self.busy = False  # a blocking request is on the worker thread
+        self.closed = False
+
+    # --- asyncio callbacks (loop thread) -------------------------------
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        self.server._on_connection_made(self)
+
+    def data_received(self, data: bytes) -> None:
+        if self.closed:
+            return
+        try:
+            messages = self.decoder.feed(data)
+        except ProtocolError as exc:
+            self.server._note_protocol_error("framing")
+            self._send(error_payload(exc))
+            self.kill()
+            return
+        self.pending.extend(messages)
+        self.pump()
+
+    def eof_received(self) -> bool:
+        return False  # close the transport; connection_lost follows
+
+    def connection_lost(self, exc) -> None:
+        self.closed = True
+        self.server._on_connection_lost(self)
+
+    # --- helpers -------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.write(encode_frame(message))
+
+    def _send_raw(self, data: bytes) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.write(data)
+
+    def kill(self) -> None:
+        self.closed = True
+        if self.transport is not None:
+            self.transport.close()
+
+    def pump(self) -> None:
+        """Serve queued requests in order; synchronous while they stay
+        inline, parking on the worker thread when one would block.
+
+        Responses for a burst of inline requests (a pipelining client
+        sends several frames back-to-back) are batched into a single
+        ``transport.write`` — one syscall, one client wakeup.
+        """
+        server = self.server
+        out: "list[bytes]" = []
+        while not self.busy and self.pending and not self.closed:
+            if self.conn is None:
+                break  # not admitted yet (backpressure parking)
+            message = self.pending.popleft()
+            if server._can_inline(self.conn, message.get("op")):
+                try:
+                    out.append(encode_frame(server._serve(self.conn, message, False)))
+                    continue
+                except WouldBlock:
+                    pass
+            # The blocked request's response must follow the inline ones:
+            # flush them before handing the message to the worker thread.
+            if out:
+                self._send_raw(b"".join(out))
+                out = []
+            self.busy = True
+            server._track(asyncio.ensure_future(self._run_blocking(message)))
+        if out:
+            self._send_raw(b"".join(out))
+
+    async def _run_blocking(self, message: dict) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            response = await loop.run_in_executor(
+                self.conn.executor, self.server._serve, self.conn, message, True
+            )
+            self._send(response)
+        finally:
+            self.busy = False
+            self.pump()
+
+
+class DatabaseServer:
+    """Host one :class:`Database` behind the length-prefixed JSON protocol."""
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        backpressure: bool = True,
+        obs: "Observability | None" = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        self.db = db
+        self.host = host
+        self.port = port  # 0 = ephemeral; rewritten once listening
+        self.max_connections = max_connections
+        self.backpressure = backpressure
+        self.obs = obs
+        self.max_frame = max_frame
+        if obs is not None:
+            db.install_observability(obs)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._protocols: "set[_ServerProtocol]" = set()
+        self._parked: "deque[_ServerProtocol]" = deque()
+        self._connections: dict[int, _ClientConnection] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        self._closing = False
+        self._conn_counter = 0
+        # Server-side statement cache: (sql, kind) -> (sid, PreparedStatement).
+        # Combined with the sqlmini AST cache this makes EXEC parse-free
+        # after the first sight of a statement text; the statement id lets
+        # clients drop the SQL text from subsequent EXEC frames entirely.
+        self._prepared: dict[
+            tuple[str, Optional[str]], tuple[int, PreparedStatement]
+        ] = {}
+        self._prepared_by_id: "list[PreparedStatement]" = []
+        self._prepared_lock = threading.Lock()
+        # Lifetime counters (kept even without an Observability installed;
+        # STATS and the leak assertions read them).
+        self._counters = {
+            "connections_total": 0,
+            "rejected_total": 0,
+            "protocol_errors_total": 0,
+            "rpcs_total": 0,
+            "sessions_opened": 0,
+            "sessions_closed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def start(self) -> "DatabaseServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await self._loop.create_server(
+            lambda: _ServerProtocol(self), self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain connections, abort in-flight work."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Closing the transports EOFs every client; aborting every active
+        # transaction wakes any worker blocked in a lock wait (its
+        # blockers resolve), so no handler can be stuck past this point.
+        for proto in list(self._protocols):
+            proto.kill()
+        for txn in self.db.active_transactions:
+            self.db.abort(txn, reason="shutdown")
+        for _ in range(600):  # cleanup tasks spawn from connection_lost
+            if not self._tasks and not self._connections:
+                break
+            if self._tasks:
+                await asyncio.wait(list(self._tasks), timeout=1.0)
+            else:
+                await asyncio.sleep(0.05)
+        leaked = len(self._connections)
+        if leaked:  # pragma: no cover - defensive
+            raise RuntimeError(f"shutdown leaked {leaked} connection(s)")
+
+    # --- threaded convenience wrappers (tests, benchmarks, CLI) --------
+    def start_in_thread(self) -> "DatabaseServer":
+        """Run the server on a private event loop in a daemon thread.
+
+        Returns once the listening socket is bound (``self.port`` is
+        final).  Pair with :meth:`shutdown`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already running in a thread")
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # pragma: no cover - bind errors
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread."""
+        if self._thread is None or self._loop is None:
+            return
+        loop = self._loop
+        future = asyncio.run_coroutine_threadsafe(self.stop(), loop)
+        future.result(timeout=timeout)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Server-level counters (also served over the wire as STATS)."""
+        return {
+            "connections_active": len(self._connections),
+            "connections_parked": len(self._parked),
+            "active_transactions": len(self.db.active_transactions),
+            "prepared_statements": len(self._prepared),
+            "max_connections": self.max_connections,
+            "backpressure": self.backpressure,
+            # Clients gate wire-level shortcuts on the hosted engine's
+            # regime (read-only COMMIT acks are deferrable only under SI).
+            "isolation": self.db.config.isolation.value,
+            **self._counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection admission / reaping (loop thread)
+    # ------------------------------------------------------------------
+    def _on_connection_made(self, proto: _ServerProtocol) -> None:
+        if self._closing:
+            proto.kill()
+            return
+        self._protocols.add(proto)
+        if len(self._connections) < self.max_connections:
+            self._admit(proto)
+        elif self.backpressure:
+            # Park: stop reading until a slot frees.
+            proto.transport.pause_reading()
+            self._parked.append(proto)
+        else:
+            self._counters["rejected_total"] += 1
+            if self.obs is not None:
+                self.obs.net_connection_rejected()
+            proto._send(
+                error_payload(
+                    ConnectionClosed(
+                        f"server at capacity "
+                        f"({self.max_connections} connections)"
+                    )
+                )
+            )
+            proto.kill()
+
+    def _admit(self, proto: _ServerProtocol) -> None:
+        self._conn_counter += 1
+        conn = _ClientConnection(self._conn_counter, Session._internal(self.db))
+        proto.conn = conn
+        self._connections[conn.conn_id] = conn
+        self._counters["connections_total"] += 1
+        self._counters["sessions_opened"] += 1
+        if self.obs is not None:
+            self.obs.net_connection_opened(len(self._connections))
+        proto.pump()  # frames may have queued while parked
+
+    def _on_connection_lost(self, proto: _ServerProtocol) -> None:
+        self._protocols.discard(proto)
+        if proto.conn is None:
+            try:
+                self._parked.remove(proto)
+            except ValueError:
+                pass
+            return
+        self._track(asyncio.ensure_future(self._cleanup(proto.conn)))
+
+    async def _cleanup(self, conn: _ClientConnection) -> None:
+        """Reap one connection: abort its transaction, free its slot."""
+        loop = asyncio.get_running_loop()
+        try:
+            # Run on the connection's executor so it serializes after any
+            # in-flight statement of the same session.
+            await loop.run_in_executor(conn.executor, conn.session.close)
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+        conn.executor.shutdown(wait=False)
+        self._connections.pop(conn.conn_id, None)
+        self._counters["sessions_closed"] += 1
+        if self.obs is not None:
+            self.obs.net_connection_closed(len(self._connections))
+        while self._parked and len(self._connections) < self.max_connections:
+            waiter = self._parked.popleft()
+            if waiter.closed:
+                continue
+            self._admit(waiter)
+            waiter.transport.resume_reading()
+
+    def _track(self, task: "asyncio.Task") -> None:
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _note_protocol_error(self, kind: str) -> None:
+        self._counters["protocol_errors_total"] += 1
+        if self.obs is not None:
+            self.obs.net_protocol_error(kind)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _can_inline(self, conn: _ClientConnection, op: object) -> bool:
+        """Whether this request may be *attempted* on the loop thread.
+
+        Single engine operations are WouldBlock-safe: the non-blocking
+        core returns ``WaitOn`` *instead of* applying the operation, so a
+        retry on the worker thread re-runs it from scratch.  COMMIT never
+        returns ``WaitOn``; its only internal blocking is the group-commit
+        flush mutex (short, in-memory — the "leader" drains every staged
+        record itself, no condition wait), so it is loop-safe too.  EXEC
+        spans several engine operations; ``_serve`` guards its retry
+        safety explicitly (see there), so it is inline-attemptable as
+        well.  Everything is currently inline-first; the hook stays for
+        future ops with non-retryable side effects.
+        """
+        return True
+
+    def _serve(self, conn: _ClientConnection, message: dict, blocking: bool) -> dict:
+        """Execute one request (loop thread when ``blocking`` is False,
+        the connection's worker thread when True) and build the response.
+
+        A :class:`WouldBlock` escape from the inline attempt is *not* an
+        RPC outcome — it propagates to the caller, which re-dispatches the
+        same message on the worker thread with the blocking waiter.  That
+        re-dispatch is sound only if the aborted attempt left no staged
+        write behind: engine ops stage nothing when they return ``WaitOn``
+        (reads and lock re-acquisition are idempotent on retry), and a
+        mini-SQL statement stages at most one write as its final effect —
+        but the ``txn.writes`` guard below enforces it rather than trusting
+        the statement grammar.
+        """
+        op = message.get("op")
+        obs = self.obs
+        started = obs.now() if obs is not None else 0.0
+        session = conn.session
+        session.waiter = conn.blocking_waiter if blocking else _NOWAIT
+        began = None
+        txn_before = session.txn
+        writes_before = (
+            len(txn_before.writes)
+            if txn_before is not None and txn_before.is_active
+            else 0
+        )
+        try:
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                self._note_protocol_error("unknown-op")
+                raise ProtocolError(f"unknown operation {op!r}")
+            try:
+                # Piggybacked BEGIN (deferred by the client to save a
+                # round trip).  Guarded on in_transaction so a WouldBlock
+                # re-dispatch does not begin twice.
+                label = message.get("begin")
+                if label is not None and op != "BEGIN" and not session.in_transaction:
+                    began = session.begin(str(label))
+                response = handler(self, conn, message)
+            except KeyError as exc:
+                self._note_protocol_error("missing-field")
+                raise ProtocolError(
+                    f"request {op} is missing field {exc.args[0]!r}"
+                ) from None
+            response["ok"] = True
+            if message.get("begin") is not None and op != "BEGIN":
+                txn_now = session.txn
+                if began is not None:
+                    response["begin_txid"] = began.txid
+                    response["begin_snapshot_ts"] = began.snapshot_ts
+                elif txn_now is not None and txn_now is not txn_before:
+                    # Begun by an earlier inline attempt of this same
+                    # message (WouldBlock re-dispatch): still report it.
+                    response["begin_txid"] = txn_now.txid
+                    response["begin_snapshot_ts"] = txn_now.snapshot_ts
+            self._counters["rpcs_total"] += 1
+            if obs is not None:
+                obs.net_rpc(str(op), obs.now() - started, True)
+            return response
+        except WouldBlock:
+            # Escalate to the worker thread; not an RPC outcome.  Only
+            # sound when the attempt staged nothing (see docstring) —
+            # unreachable with the current statement grammar, but abort
+            # rather than risk double-applying a partially run statement.
+            txn_now = session.txn
+            if (
+                txn_now is not None
+                and txn_now.is_active
+                and len(txn_now.writes) != writes_before
+            ):  # pragma: no cover - defensive
+                self.db.abort(txn_now, reason="net-retry-unsafe")
+                self._counters["rpcs_total"] += 1
+                if obs is not None:
+                    obs.net_rpc(str(op or "?"), obs.now() - started, False)
+                return error_payload(
+                    TransactionAborted(
+                        "statement blocked after staging writes; "
+                        "transaction aborted (not retryable in place)"
+                    )
+                )
+            raise
+        except ReproError as exc:
+            self._counters["rpcs_total"] += 1
+            if obs is not None:
+                obs.net_rpc(str(op or "?"), obs.now() - started, False)
+            return error_payload(exc)
+
+    # --- handlers ------------------------------------------------------
+    def _op_ping(self, conn: _ClientConnection, msg: dict) -> dict:
+        return {"pong": True}
+
+    def _op_stats(self, conn: _ClientConnection, msg: dict) -> dict:
+        return {"stats": self.stats()}
+
+    def _op_begin(self, conn: _ClientConnection, msg: dict) -> dict:
+        txn = conn.session.begin(str(msg.get("label", "")))
+        return {"txid": txn.txid, "snapshot_ts": txn.snapshot_ts}
+
+    def _op_read(self, conn: _ClientConnection, msg: dict) -> dict:
+        row = conn.session.select(msg["table"], msg["key"])
+        return {"row": row}
+
+    def _op_select_for_update(self, conn: _ClientConnection, msg: dict) -> dict:
+        row = conn.session.select_for_update(msg["table"], msg["key"])
+        return {"row": row}
+
+    def _op_lookup_unique(self, conn: _ClientConnection, msg: dict) -> dict:
+        found = conn.session.lookup_unique(
+            msg["table"], msg["column"], msg["value"]
+        )
+        return {"found": list(found) if found is not None else None}
+
+    def _op_scan(self, conn: _ClientConnection, msg: dict) -> dict:
+        matches = conn.session.scan(
+            msg["table"], description=str(msg.get("description", "<scan>"))
+        )
+        return {"rows": [[key, row] for key, row in matches]}
+
+    def _op_write(self, conn: _ClientConnection, msg: dict) -> dict:
+        conn.session.write(
+            msg["table"],
+            msg["key"],
+            msg["row"],
+            kind=str(msg.get("kind", "update")),
+        )
+        return {}
+
+    def _op_insert(self, conn: _ClientConnection, msg: dict) -> dict:
+        conn.session.insert(msg["table"], msg["row"])
+        return {}
+
+    def _op_delete(self, conn: _ClientConnection, msg: dict) -> dict:
+        conn.session.delete(msg["table"], msg["key"])
+        return {}
+
+    def _op_commit(self, conn: _ClientConnection, msg: dict) -> dict:
+        conn.session.commit()
+        return {}
+
+    def _op_rollback(self, conn: _ClientConnection, msg: dict) -> dict:
+        conn.session.rollback()
+        return {}
+
+    def _statement(self, sql: str, kind: Optional[str]) -> tuple[int, PreparedStatement]:
+        cache_key = (sql, kind)
+        with self._prepared_lock:
+            entry = self._prepared.get(cache_key)
+            if entry is None:
+                statement = PreparedStatement(sql, kind=kind)
+                entry = (len(self._prepared_by_id), statement)
+                self._prepared_by_id.append(statement)
+                self._prepared[cache_key] = entry
+        return entry
+
+    def _resolve_statement(self, msg: dict) -> tuple[int, PreparedStatement]:
+        """EXEC/PREPARE statement lookup: by ``sid`` (fast path, no SQL
+        text on the wire) or by ``sql`` text (registers and returns the
+        sid for the client to cache)."""
+        sid = msg.get("sid")
+        if sid is not None:
+            statements = self._prepared_by_id
+            if not isinstance(sid, int) or not 0 <= sid < len(statements):
+                raise ProtocolError(f"unknown statement id {sid!r}")
+            return sid, statements[sid]
+        kind = msg.get("kind")
+        return self._statement(
+            str(msg["sql"]), str(kind) if kind is not None else None
+        )
+
+    def _op_prepare(self, conn: _ClientConnection, msg: dict) -> dict:
+        sid, statement = self._resolve_statement(msg)
+        return {"sid": sid, "kind": statement.kind}
+
+    def _op_exec(self, conn: _ClientConnection, msg: dict) -> dict:
+        sid, statement = self._resolve_statement(msg)
+        params = msg.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("EXEC params must be a JSON object")
+        # Echo back only the parameters the statement changed (its
+        # ``INTO :var`` bindings): the client merges the delta in place,
+        # and unchanged values would merge to themselves anyway.  Only
+        # SELECT ... INTO can bind at all, so anything else skips the
+        # before-copy and the delta scan (and the empty-field bytes).
+        ast = statement.statement
+        binds = isinstance(ast, Select) and bool(ast.into)
+        before = dict(params) if binds else None
+        commit = bool(msg.get("commit"))
+        try:
+            result = statement.execute(conn.session, params)
+        except WouldBlock:
+            raise  # re-dispatched on the worker thread, commit included
+        except ReproError:
+            # Piggybacked COMMIT (see the client's ``commit``): the batch
+            # was declared to end here, so a failed statement means the
+            # transaction can never commit — roll it back before replying
+            # rather than leave it (and its locks) open on a wire the
+            # client is about to pool as idle.
+            if commit and conn.session.in_transaction:
+                conn.session.rollback()
+            raise
+        if commit:
+            conn.session.commit()
+        response: dict = {}
+        if result.rows:
+            response["rows"] = result.rows
+        if result.rowcount:
+            response["rowcount"] = result.rowcount
+        if binds:
+            response["params"] = {
+                k: v
+                for k, v in params.items()
+                if k not in before or before[k] != v
+            }
+        if commit:
+            response["committed"] = True
+        if "sid" not in msg:  # first sight: teach the client the id
+            response["sid"] = sid
+        return response
+
+    _HANDLERS = {
+        "PING": _op_ping,
+        "STATS": _op_stats,
+        "BEGIN": _op_begin,
+        "READ": _op_read,
+        "SELECT_FOR_UPDATE": _op_select_for_update,
+        "LOOKUP_UNIQUE": _op_lookup_unique,
+        "SCAN": _op_scan,
+        "WRITE": _op_write,
+        "INSERT": _op_insert,
+        "DELETE": _op_delete,
+        "COMMIT": _op_commit,
+        "ROLLBACK": _op_rollback,
+        "PREPARE": _op_prepare,
+        "EXEC": _op_exec,
+    }

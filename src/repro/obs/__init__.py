@@ -149,6 +149,29 @@ class Observability:
             "repro_response_time_seconds",
             help="Per-transaction response time observed by the driver",
         )
+        # Network service layer (DESIGN.md §11), pre-registered like the
+        # engine schema so an exported registry always carries it.
+        self.net_connections = m.gauge(
+            "repro_net_connections", help="Currently open server connections"
+        )
+        self.net_connections_total = m.counter(
+            "repro_net_connections_total", help="Server connections accepted"
+        )
+        self.net_rejected = m.counter(
+            "repro_net_rejected_total",
+            help="Connections refused at the max-connection limit",
+        )
+        self.net_protocol_errors = m.counter(
+            "repro_net_protocol_errors_total",
+            help="Wire-protocol violations observed by the server",
+        )
+        self.net_rpc_latency = m.histogram(
+            "repro_net_rpc_seconds", help="Server-side RPC service time"
+        )
+        self.net_client_rpc_latency = m.histogram(
+            "repro_net_client_rpc_seconds",
+            help="Client-observed RPC round-trip time",
+        )
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -246,6 +269,49 @@ class Observability:
         if lengths:
             self.chain_max.set(max(lengths))
             self.chain_mean.set(sum(lengths) / len(lengths))
+
+    # ------------------------------------------------------------------
+    # Network service hooks (repro.net server)
+    # ------------------------------------------------------------------
+    def net_connection_opened(self, active: int) -> None:
+        self.net_connections_total.inc()
+        self.net_connections.set(active)
+
+    def net_connection_closed(self, active: int) -> None:
+        self.net_connections.set(active)
+
+    def net_connection_rejected(self) -> None:
+        self.net_rejected.inc()
+
+    def net_protocol_error(self, kind: str) -> None:
+        self.net_protocol_errors.inc()
+        self.metrics.counter(
+            "repro_net_protocol_errors_total",
+            labels={"kind": kind},
+            help="Wire-protocol violations observed by the server, by kind",
+        ).inc()
+
+    def net_client_rpc(self, op: str, seconds: float, ok: bool) -> None:
+        self.net_client_rpc_latency.observe(seconds)
+        self.metrics.histogram(
+            "repro_net_client_rpc_seconds", labels={"op": op}
+        ).observe(seconds)
+        self.metrics.counter(
+            "repro_net_client_rpcs_total",
+            labels={"op": op, "ok": "true" if ok else "false"},
+            help="Client RPCs issued, by operation and outcome",
+        ).inc()
+
+    def net_rpc(self, op: str, seconds: float, ok: bool) -> None:
+        self.net_rpc_latency.observe(seconds)
+        self.metrics.histogram(
+            "repro_net_rpc_seconds", labels={"op": op}
+        ).observe(seconds)
+        self.metrics.counter(
+            "repro_net_rpcs_total",
+            labels={"op": op, "ok": "true" if ok else "false"},
+            help="RPCs served, by operation and outcome",
+        ).inc()
 
     # ------------------------------------------------------------------
     # Driver hooks (program-labelled run accounting)

@@ -2,13 +2,14 @@
 
 Quick use::
 
-    from repro.engine import EngineConfig, Session
+    import repro
+    from repro.engine import EngineConfig
     from repro.smallbank import build_database, get_strategy
 
     strategy = get_strategy("promote-wt-upd")
     db = build_database(EngineConfig.postgres())
     txns = strategy.transactions()
-    session = Session(db)
+    session = repro.connect("local://", database=db).session()
     total = txns.run(session, "Balance", {"N": "cust0000001"})
 """
 

@@ -26,13 +26,18 @@ from repro.sqlmini.ast import (
     UnaryOp,
     Update,
     columns_in,
+    params_in,
+    statement_params,
     equality_key,
     evaluate,
 )
 from repro.sqlmini.executor import (
     PreparedStatement,
     StatementResult,
+    clear_parse_cache,
     execute_sql,
+    parse_cache_stats,
+    parse_cached,
 )
 from repro.sqlmini.parser import parse, parse_script
 
@@ -50,10 +55,15 @@ __all__ = [
     "StatementResult",
     "UnaryOp",
     "Update",
+    "clear_parse_cache",
     "columns_in",
+    "params_in",
+    "statement_params",
     "equality_key",
     "evaluate",
     "execute_sql",
     "parse",
+    "parse_cache_stats",
+    "parse_cached",
     "parse_script",
 ]

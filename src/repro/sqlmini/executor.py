@@ -13,6 +13,7 @@ expression becomes a key lookup; anything else is a predicate scan.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable, MutableMapping, Optional
 
@@ -32,6 +33,44 @@ from repro.sqlmini.ast import (
 from repro.sqlmini.parser import parse
 
 Params = MutableMapping[str, object]
+
+
+# ----------------------------------------------------------------------
+# Parse cache
+# ----------------------------------------------------------------------
+# Statement ASTs are frozen dataclasses, so one parse result can safely be
+# shared by every PreparedStatement (and every server-side EXEC) carrying
+# the same SQL text.  Before this cache existed, the facade/wire path — a
+# fresh PreparedStatement per EXEC — re-parsed on every execution.
+_parse_cache: dict[str, Statement] = {}
+_parse_cache_lock = threading.Lock()
+_parse_misses = 0
+
+
+def parse_cached(sql: str) -> Statement:
+    """Parse ``sql``, memoizing the (immutable) AST by exact text."""
+    global _parse_misses
+    with _parse_cache_lock:
+        cached = _parse_cache.get(sql)
+    if cached is not None:
+        return cached
+    statement = parse(sql)
+    with _parse_cache_lock:
+        _parse_misses += 1
+        return _parse_cache.setdefault(sql, statement)
+
+
+def parse_cache_stats() -> tuple[int, int]:
+    """``(cached_statements, total_parse_misses)`` — for tests/metrics."""
+    with _parse_cache_lock:
+        return len(_parse_cache), _parse_misses
+
+
+def clear_parse_cache() -> None:
+    global _parse_misses
+    with _parse_cache_lock:
+        _parse_cache.clear()
+        _parse_misses = 0
 
 
 @dataclass
@@ -61,7 +100,12 @@ class PreparedStatement:
     """
 
     def __init__(self, sql: "str | Statement", kind: Optional[str] = None) -> None:
-        self.statement: Statement = parse(sql) if isinstance(sql, str) else sql
+        if isinstance(sql, str):
+            self.statement: Statement = parse_cached(sql)
+            self.sql = sql
+        else:
+            self.statement = sql
+            self.sql = str(sql)
         if kind is not None:
             self.kind = kind
         elif isinstance(self.statement, Update) and self.statement.is_identity:
@@ -75,6 +119,12 @@ class PreparedStatement:
     # ------------------------------------------------------------------
     def execute(self, session: Session, params: Optional[Params] = None) -> StatementResult:
         bound: Params = params if params is not None else {}
+        # Network facade path: a session that executes statements remotely
+        # (ships SQL text + params, merges returned bindings) advertises
+        # ``execute_prepared``; planning then happens server-side.
+        remote = getattr(session, "execute_prepared", None)
+        if remote is not None:
+            return remote(self.sql, self.kind, bound)
         statement = self.statement
         if isinstance(statement, Select):
             return self._execute_select(session, statement, bound)

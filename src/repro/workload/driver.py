@@ -27,6 +27,12 @@ Robustness contract:
 Handing the driver an :class:`~repro.obs.Observability` installs it on
 the database and additionally populates program-labelled driver metrics
 (response-time histograms, commit/abort/retry/give-up counters) per run.
+
+Backends: the driver runs against any :class:`repro.api.Connection` —
+pass ``connection=`` (e.g. ``repro.connect("tcp://host:port")``) to push
+the same closed-system load over the network service layer.  Passing a
+bare :class:`Database` keeps the historical behaviour (an in-process
+:class:`~repro.api.LocalConnection` is wrapped around it).
 """
 
 from __future__ import annotations
@@ -37,8 +43,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api import Connection, LocalConnection
 from repro.engine.engine import Database
-from repro.engine.session import Session
 from repro.errors import ApplicationRollback, ReproError, TransactionAborted
 from repro.obs import Observability
 from repro.smallbank.transactions import SmallBankTransactions
@@ -104,16 +110,28 @@ class ThreadedDriver:
 
     def __init__(
         self,
-        db: Database,
+        db: Optional[Database],
         transactions: SmallBankTransactions,
         config: ThreadedDriverConfig,
         obs: Optional[Observability] = None,
+        *,
+        connection: Optional[Connection] = None,
     ) -> None:
+        if connection is None:
+            if db is None:
+                raise ValueError("pass a Database or a connection")
+            connection = LocalConnection(db)
+        elif db is None:
+            # A LocalConnection still exposes its engine (fault plans,
+            # version-chain sampling); a network backend has no local
+            # database and those hooks are skipped.
+            db = getattr(connection, "db", None)
         self.db = db
+        self.connection = connection
         self.transactions = transactions
         self.config = config
         self.obs = obs
-        if obs is not None:
+        if obs is not None and db is not None:
             db.install_observability(obs)
 
     def run(self) -> RunStats:
@@ -141,7 +159,7 @@ class ThreadedDriver:
             rng = random.Random(f"{config.seed}/{client_id}")
             backoff_rng = random.Random(f"{config.seed}/backoff/{client_id}")
             generator = ParameterGenerator(hotspot, rng)
-            faults = self.db.faults
+            faults = self.db.faults if self.db is not None else None
             while time.monotonic() < deadline:
                 if faults is not None and faults.should_fire("client-death"):
                     return
@@ -150,49 +168,52 @@ class ThreadedDriver:
                 attempts = 0
                 while True:
                     attempts += 1
-                    session = Session(self.db)
+                    session = self.connection.session()
                     started = clock()
                     try:
-                        self.transactions.run(session, program, args)
-                        response = clock() - started
-                        stats.record_commit(program, response, clock(), attempts)
-                        if obs is not None:
-                            obs.driver_commit(program, response, attempts)
-                        break
-                    except ApplicationRollback:
-                        session.rollback()
-                        stats.record_rollback(program, clock())
-                        if obs is not None:
-                            obs.driver_rollback(program)
-                        break
-                    except TransactionAborted as exc:
-                        session.rollback()
-                        stats.record_abort(program, exc.reason, clock())
-                        if obs is not None:
-                            obs.driver_abort(program, exc.reason)
-                        if not policy.should_retry(exc, attempts):
-                            stats.record_giveup(program, clock(), attempts)
+                        try:
+                            self.transactions.run(session, program, args)
+                            response = clock() - started
+                            stats.record_commit(program, response, clock(), attempts)
                             if obs is not None:
-                                obs.driver_giveup(program)
+                                obs.driver_commit(program, response, attempts)
                             break
-                        delay = policy.backoff(attempts, backoff_rng)
-                        if time.monotonic() >= deadline:
-                            # The run ended before the extra attempt could
-                            # start: a give-up, not a retry.
-                            stats.record_giveup(program, clock(), attempts)
+                        except ApplicationRollback:
+                            session.rollback()
+                            stats.record_rollback(program, clock())
                             if obs is not None:
-                                obs.driver_giveup(program)
+                                obs.driver_rollback(program)
                             break
-                        if delay > 0:
-                            time.sleep(delay)
-                            if time.monotonic() >= deadline:
+                        except TransactionAborted as exc:
+                            session.rollback()
+                            stats.record_abort(program, exc.reason, clock())
+                            if obs is not None:
+                                obs.driver_abort(program, exc.reason)
+                            if not policy.should_retry(exc, attempts):
                                 stats.record_giveup(program, clock(), attempts)
                                 if obs is not None:
                                     obs.driver_giveup(program)
                                 break
-                        stats.record_retry(program, clock())
-                        if obs is not None:
-                            obs.driver_retry(program)
+                            delay = policy.backoff(attempts, backoff_rng)
+                            if time.monotonic() >= deadline:
+                                # The run ended before the extra attempt
+                                # could start: a give-up, not a retry.
+                                stats.record_giveup(program, clock(), attempts)
+                                if obs is not None:
+                                    obs.driver_giveup(program)
+                                break
+                            if delay > 0:
+                                time.sleep(delay)
+                                if time.monotonic() >= deadline:
+                                    stats.record_giveup(program, clock(), attempts)
+                                    if obs is not None:
+                                        obs.driver_giveup(program)
+                                    break
+                            stats.record_retry(program, clock())
+                            if obs is not None:
+                                obs.driver_retry(program)
+                    finally:
+                        session.close()
 
         failures: dict[int, BaseException] = {}
         failures_lock = threading.Lock()
@@ -222,7 +243,7 @@ class ThreadedDriver:
             for client_id, thread in threads.items()
             if thread.is_alive()
         )
-        if obs is not None:
+        if obs is not None and self.db is not None:
             self.db.observe_version_stats()
         if failures or stuck:
             raise ThreadedDriverError(failures, stuck)

@@ -1,0 +1,169 @@
+"""Wire-protocol framing unit tests (no sockets, no server).
+
+The protocol is length-prefixed JSON (DESIGN.md §11); these tests pin the
+edge cases the server's robustness contract depends on: fragmented reads,
+oversized frames, zero-length frames, garbage payloads, and the decoder's
+poisoning behaviour after a violation.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    ApplicationRollback,
+    ConnectionClosed,
+    ProtocolError,
+    ReproError,
+    SerializationFailure,
+    SsiAbort,
+)
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    LENGTH_BYTES,
+    FrameDecoder,
+    check_length,
+    decode_payload,
+    encode_frame,
+    error_payload,
+    raise_error_payload,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "PING", "n": 1})
+        decoder = FrameDecoder()
+        (message,) = decoder.feed(frame)
+        assert message == {"op": "PING", "n": 1}
+        assert decoder.pending_bytes == 0
+
+    def test_length_prefix_is_big_endian_u32(self):
+        frame = encode_frame({"op": "PING"})
+        (length,) = struct.unpack(">I", frame[:LENGTH_BYTES])
+        assert length == len(frame) - LENGTH_BYTES
+
+    def test_byte_at_a_time_reassembly(self):
+        """A frame arriving in 1-byte TCP fragments decodes identically."""
+        frame = encode_frame({"op": "EXEC", "params": {"v": 1.5}})
+        decoder = FrameDecoder()
+        messages = []
+        for i in range(len(frame)):
+            messages.extend(decoder.feed(frame[i : i + 1]))
+        assert messages == [{"op": "EXEC", "params": {"v": 1.5}}]
+
+    def test_split_across_length_prefix_boundary(self):
+        frame = encode_frame({"op": "PING"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []  # half a length prefix
+        assert decoder.pending_bytes == 2
+        assert decoder.feed(frame[2:]) == [{"op": "PING"}]
+
+    def test_multiple_frames_in_one_feed(self):
+        """A pipelining client's burst decodes to every frame in order."""
+        data = b"".join(encode_frame({"op": "PING", "i": i}) for i in range(5))
+        decoder = FrameDecoder()
+        messages = decoder.feed(data)
+        assert [m["i"] for m in messages] == [0, 1, 2, 3, 4]
+
+    def test_partial_trailing_frame_stays_buffered(self):
+        first = encode_frame({"op": "PING", "i": 0})
+        second = encode_frame({"op": "PING", "i": 1})
+        decoder = FrameDecoder()
+        messages = decoder.feed(first + second[:-3])
+        assert [m["i"] for m in messages] == [0]
+        assert decoder.pending_bytes == len(second) - 3
+        assert decoder.feed(second[-3:]) == [{"op": "PING", "i": 1}]
+
+
+class TestFramingViolations:
+    def test_oversized_frame_rejected(self):
+        decoder = FrameDecoder(max_frame=64)
+        huge = struct.pack(">I", 65)
+        with pytest.raises(ProtocolError):
+            decoder.feed(huge)
+
+    def test_oversized_length_rejected_before_payload_arrives(self):
+        """The length prefix alone triggers the rejection — the decoder
+        never buffers an attacker-controlled amount of memory."""
+        decoder = FrameDecoder(max_frame=64)
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack(">I", 2**31))
+
+    def test_zero_length_frame_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack(">I", 0))
+
+    def test_garbage_payload_rejected(self):
+        payload = b"\xff\xfenot json"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(data)
+
+    def test_non_object_json_rejected(self):
+        payload = b"[1, 2, 3]"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(data)
+
+    def test_decoder_poisoned_after_violation(self):
+        """After one violation every further feed re-raises: a desynced
+        byte stream can never be re-trusted mid-connection."""
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack(">I", 0))
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame({"op": "PING"}))  # well-formed, still dead
+
+    def test_check_length_bounds(self):
+        assert check_length(1) == 1
+        assert check_length(DEFAULT_MAX_FRAME) == DEFAULT_MAX_FRAME
+        with pytest.raises(ProtocolError):
+            check_length(0)
+        with pytest.raises(ProtocolError):
+            check_length(DEFAULT_MAX_FRAME + 1)
+
+    def test_decode_payload_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"{truncated")
+        with pytest.raises(ProtocolError):
+            decode_payload(b'"a bare string"')
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [SerializationFailure, SsiAbort, ApplicationRollback, ConnectionClosed],
+    )
+    def test_error_class_survives_the_wire(self, exc_type):
+        payload = error_payload(exc_type("boom"))
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == exc_type.code
+        with pytest.raises(exc_type) as excinfo:
+            raise_error_payload(payload["error"])
+        assert "boom" in str(excinfo.value)
+
+    def test_subclass_code_wins(self):
+        """``SsiAbort`` must not round-trip as its ``SerializationFailure``
+        base — retry policies distinguish them."""
+        payload = error_payload(SsiAbort("cert failure"))
+        assert payload["error"]["code"] == "ssi"
+        with pytest.raises(SsiAbort):
+            raise_error_payload(payload["error"])
+
+    def test_unknown_code_degrades_to_repro_error(self):
+        with pytest.raises(ReproError):
+            raise_error_payload({"code": "no-such-code", "message": "hm"})
+
+    def test_malformed_error_payload_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            raise_error_payload(None)
+        with pytest.raises(ProtocolError):
+            raise_error_payload("not a mapping")
+
+    def test_frame_survives_encode_decode(self):
+        payload = error_payload(SerializationFailure("w-w conflict on x=7"))
+        (decoded,) = FrameDecoder().feed(encode_frame(payload))
+        with pytest.raises(SerializationFailure):
+            raise_error_payload(decoded["error"])
