@@ -1,0 +1,288 @@
+"""Cluster benchmark: SmallBank TPS vs shard count at fixed MPL.
+
+For each shard count the same closed-system :class:`ThreadedDriver` run
+(uniform five-program SmallBank mix, so ~20 % Amalgamates generate
+cross-shard traffic) is driven through the shard router against an
+in-process :class:`~repro.cluster.Cluster`.  Each point reports:
+
+* **TPS** and aborts at the fixed MPL,
+* the **fast-path ratio** — the fraction of commits that were
+  single-shard and therefore skipped 2PC entirely (COMMIT piggybacked on
+  the last statement, no PREPARE round), and
+* the router's raw ``fastpath_commits`` / ``twopc_commits`` /
+  ``twopc_aborts`` counters.
+
+A separate paired microbenchmark quantifies the **2PC overhead** on a
+2-shard cluster: the same connection alternately commits single-shard
+deposits (fast path) and cross-shard transfers (presumed-abort 2PC:
+per-shard PREPARE, then decision broadcast), and the per-transaction
+latency ratio is the measured price of the second round trip plus the
+prepare record fsync.
+
+Results are appended to ``BENCH_cluster.json`` at the repo root (CI
+uploads it as an artifact).  CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke
+
+full grid::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.cluster import Cluster
+from repro.smallbank import get_strategy
+from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_cluster.json"
+
+SHARDS = (1, 2, 4)
+SMOKE_SHARDS = (1, 2)
+MPL = 8
+SMOKE_MPL = 4
+CUSTOMERS = 100
+MIX = "uniform"
+STRATEGY = "base-si"
+
+
+def _driver_config(mpl: int, duration: float) -> ThreadedDriverConfig:
+    return ThreadedDriverConfig(
+        mpl=mpl,
+        customers=CUSTOMERS,
+        hotspot=10,
+        mix=MIX,
+        duration=duration,
+        seed=7,
+    )
+
+
+def measure_shards(shard_count: int, mpl: int, duration: float) -> dict:
+    """One driver run against a ``shard_count``-shard cluster."""
+    with Cluster(shard_count, customers=CUSTOMERS, isolation="si") as cluster:
+        conn = cluster.connect()
+        try:
+            stats = ThreadedDriver(
+                None,
+                get_strategy(STRATEGY).transactions(),
+                _driver_config(mpl, duration),
+                connection=conn,
+            ).run()
+            conn.flush()
+            counters = conn.counters()
+        finally:
+            conn.close()
+    decided = (
+        counters["fastpath_commits"]
+        + counters["twopc_commits"]
+        + counters["twopc_aborts"]
+    )
+    return {
+        "tps": round(stats.tps, 1),
+        "aborts": stats.abort_count(),
+        "counters": counters,
+        "fastpath_ratio": round(
+            counters["fastpath_commits"] / decided, 4
+        ) if decided else 1.0,
+    }
+
+
+def measure_2pc_overhead(iterations: int, shard_count: int = 2) -> dict:
+    """Paired per-transaction latency: fast path vs cross-shard 2PC.
+
+    Customer 1 lives on shard 1 and customer 2 on shard 0 (modular map),
+    so the deposit commits via the single-shard fast path while the
+    transfer's two writes force PREPARE on both shards plus the decision
+    broadcast.  Interleaving the two keeps machine noise symmetric.
+    """
+    fast: "list[float]" = []
+    twopc: "list[float]" = []
+    with Cluster(shard_count, customers=CUSTOMERS, isolation="si") as cluster:
+        conn = cluster.connect()
+        try:
+            session = conn.session()
+            for i in range(iterations):
+                start = time.perf_counter()
+                session.begin("FastDeposit")
+                session.update("Checking", 1, {"Balance": float(i)})
+                session.commit()
+                fast.append(time.perf_counter() - start)
+
+                start = time.perf_counter()
+                session.begin("CrossTransfer")
+                session.update("Checking", 1, {"Balance": float(i) + 1.0})
+                session.update("Checking", 2, {"Balance": float(i) + 2.0})
+                session.commit()
+                twopc.append(time.perf_counter() - start)
+            session.close()
+            counters = conn.counters()
+        finally:
+            conn.close()
+    assert counters["fastpath_commits"] == iterations
+    assert counters["twopc_commits"] == iterations
+    fast_us = statistics.median(fast) * 1e6
+    twopc_us = statistics.median(twopc) * 1e6
+    return {
+        "iterations": iterations,
+        "fastpath_us": round(fast_us, 1),
+        "twopc_us": round(twopc_us, 1),
+        "overhead": round(twopc_us / max(fast_us, 1e-9), 2),
+    }
+
+
+def run_curve(
+    shards: "tuple[int, ...]", mpl: int, duration: float, rounds: int = 3
+) -> dict:
+    """Median-of-rounds TPS per shard count, rounds interleaved so
+    machine-wide noise hits every shard count equally."""
+    samples: dict = {str(s): [] for s in shards}
+    for _ in range(rounds):
+        for shard_count in shards:
+            samples[str(shard_count)].append(
+                measure_shards(shard_count, mpl, duration)
+            )
+    out: dict = {"mpl": mpl, "rounds": rounds, "points": {}}
+    for shard_count in shards:
+        key = str(shard_count)
+        runs = samples[key]
+        out["points"][key] = {
+            "tps": statistics.median(r["tps"] for r in runs),
+            "aborts": max(r["aborts"] for r in runs),
+            "fastpath_ratio": statistics.median(
+                r["fastpath_ratio"] for r in runs
+            ),
+            "counters": runs[-1]["counters"],
+        }
+    base = out["points"][str(shards[0])]["tps"]
+    for key, point in out["points"].items():
+        point["speedup"] = round(point["tps"] / max(base, 1e-9), 2)
+    return out
+
+
+def append_bench_record(record: dict, path: Path = BENCH_JSON) -> None:
+    """Append one run record to the BENCH_cluster.json trajectory."""
+    data: dict = {"benchmark": "bench_cluster", "runs": []}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            pass  # corrupt or unreadable trajectory: start fresh
+        if not isinstance(data.get("runs"), list):
+            data = {"benchmark": "bench_cluster", "runs": []}
+    data["runs"].append(record)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (not part of tier-1: testpaths excludes benchmarks/)
+# ----------------------------------------------------------------------
+def test_cluster_makes_progress_at_every_shard_count() -> None:
+    for shard_count in (1, 2):
+        point = measure_shards(shard_count, mpl=4, duration=0.5)
+        assert point["tps"] > 0
+        if shard_count == 1:
+            # A 1-shard cluster never needs 2PC.
+            assert point["counters"]["twopc_commits"] == 0
+            assert point["fastpath_ratio"] == 1.0
+        else:
+            # The uniform mix's Amalgamates produce real 2PC traffic.
+            assert point["counters"]["twopc_commits"] > 0
+            assert 0.0 < point["fastpath_ratio"] < 1.0
+
+
+def test_2pc_costs_more_than_the_fast_path() -> None:
+    overhead = measure_2pc_overhead(iterations=50)
+    assert overhead["overhead"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced grid (1 and 2 shards, MPL 4, shorter windows)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds per TPS measurement point",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true",
+        help="skip appending to BENCH_cluster.json",
+    )
+    args = parser.parse_args(argv)
+
+    shards = SMOKE_SHARDS if args.smoke else SHARDS
+    mpl = SMOKE_MPL if args.smoke else MPL
+    duration = args.duration or (0.6 if args.smoke else 1.5)
+    rounds = 3
+    overhead_iterations = 100 if args.smoke else 400
+
+    print(
+        f"== SmallBank {MIX} TPS vs shard count, MPL {mpl} "
+        f"({duration:.1f}s/point, median of {rounds} interleaved rounds) =="
+    )
+    curve = run_curve(shards, mpl, duration, rounds=rounds)
+    failures = 0
+    for shard_count in shards:
+        point = curve["points"][str(shard_count)]
+        counters = point["counters"]
+        print(
+            f"  {shard_count} shard{'s' if shard_count > 1 else ' '}: "
+            f"{point['tps']:>8,.0f} tps ({point['speedup']:4.2f}x)   "
+            f"fastpath {point['fastpath_ratio']:.1%}   "
+            f"2pc {counters['twopc_commits']:>6,d} commits "
+            f"/ {counters['twopc_aborts']:,d} aborts"
+        )
+        if point["tps"] <= 0:
+            print(f"FAIL: no progress at {shard_count} shards")
+            failures += 1
+        if shard_count == 1 and counters["twopc_commits"] > 0:
+            print("FAIL: a 1-shard cluster ran 2PC")
+            failures += 1
+        if shard_count > 1 and counters["twopc_commits"] == 0:
+            print(f"FAIL: no cross-shard traffic at {shard_count} shards")
+            failures += 1
+
+    print("== 2PC overhead (paired single-shard vs cross-shard commits) ==")
+    overhead = measure_2pc_overhead(overhead_iterations)
+    print(
+        f"  fast path {overhead['fastpath_us']:7.1f}us   "
+        f"2PC {overhead['twopc_us']:7.1f}us   "
+        f"({overhead['overhead']:.2f}x per transaction)"
+    )
+    if overhead["overhead"] <= 1.0:
+        print("FAIL: 2PC measured no more expensive than the fast path")
+        failures += 1
+
+    if not args.no_json:
+        append_bench_record(
+            {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "mode": "smoke" if args.smoke else "full",
+                "mix": MIX,
+                "strategy": STRATEGY,
+                "curve": curve,
+                "twopc_overhead": overhead,
+            }
+        )
+        print(f"appended run record to {BENCH_JSON.name}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,13 @@ from repro.analysis.checker import (
     check_history,
     classify_cycle,
 )
+from repro.analysis.distributed import (
+    DistributedReport,
+    GlobalTransaction,
+    global_id,
+    merge_shard_histories,
+    split_label,
+)
 from repro.analysis.extract import (
     extract_smallbank_specs,
     extract_spec,
@@ -44,6 +51,7 @@ from repro.analysis.mvsg import (
     Cycle,
     DependencyEdge,
     MultiVersionSerializationGraph,
+    find_cycle_in,
 )
 from repro.analysis.recorder import (
     CommittedTransaction,
@@ -55,8 +63,10 @@ __all__ = [
     "CommittedTransaction",
     "Cycle",
     "DependencyEdge",
+    "DistributedReport",
     "ExecutionRecorder",
     "ExplorationSummary",
+    "GlobalTransaction",
     "InterleavingExplorer",
     "MultiVersionSerializationGraph",
     "ScheduleOutcome",
@@ -69,8 +79,12 @@ __all__ = [
     "extract_smallbank_specs",
     "extract_spec",
     "extracted_smallbank_program_set",
+    "find_cycle_in",
     "footprint_signature",
+    "global_id",
+    "merge_shard_histories",
     "merge_specs",
     "parse_history",
     "record_database",
+    "split_label",
 ]

@@ -1,0 +1,211 @@
+"""Cluster-wide serializability: merging per-shard traces into a global MVSG.
+
+A distributed transaction executes one *branch* per shard it touches; each
+shard's :class:`~repro.analysis.ExecutionRecorder` captures that branch as
+an ordinary :class:`CommittedTransaction`.  The cluster router tags every
+branch label with the transaction's global id (``"WriteCheck#g42"``), so
+the merge here can stitch the branches of one global transaction back
+together without any cross-shard clock.
+
+The construction is the standard one for partitioned data: **every item
+lives on exactly one shard**, so every MVSG dependency (ww / wr / rw) is
+witnessed entirely by that item's shard.  The global serialization graph
+is therefore the edge-union of the per-shard graphs with each shard-local
+txid mapped to its global id — no cross-shard version order ever needs to
+be invented (which is also why the branches are *not* merged into a single
+footprint: each shard has its own commit-timestamp domain, and mixing them
+would corrupt the per-item version order).
+
+A cycle in the merged graph that no single shard can see is exactly the
+cross-shard SI anomaly of the robustness literature (Beillahi et al.;
+Nagar & Jagannathan): each shard's history is perfectly serializable, the
+cluster execution is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.checker import classify_cycle
+from repro.analysis.mvsg import (
+    Cycle,
+    DependencyEdge,
+    MultiVersionSerializationGraph,
+    find_cycle_in,
+)
+from repro.analysis.recorder import CommittedTransaction
+
+#: Label suffix carrying the global transaction id: ``"<label>#g<N>"``.
+GTID_TAG = "#g"
+
+
+def split_label(label: str) -> "tuple[str, Optional[str]]":
+    """``("WriteCheck", "g42")`` from ``"WriteCheck#g42"``.
+
+    Returns ``(label, None)`` for an untagged label (a transaction that
+    never went through the cluster router).
+    """
+    base, sep, tag = label.rpartition(GTID_TAG)
+    if sep and tag.isdigit():
+        return base, f"g{tag}"
+    return label, None
+
+
+def global_id(shard: int, txn: CommittedTransaction) -> str:
+    """The merged-graph node id for one branch.
+
+    Router-tagged branches of the same global transaction share one id;
+    untagged transactions get a synthetic per-shard id so they still
+    appear (as single-branch nodes) in the global graph.
+    """
+    _, gid = split_label(txn.label)
+    if gid is not None:
+        return gid
+    return f"s{shard}-t{txn.txid}"
+
+
+@dataclass(frozen=True)
+class GlobalTransaction:
+    """One global transaction: its branches across the shards it touched."""
+
+    gid: str
+    label: str
+    branches: "tuple[tuple[int, CommittedTransaction], ...]"
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(shard for shard, _ in self.branches)
+
+    @property
+    def active_branches(self) -> "tuple[tuple[int, CommittedTransaction], ...]":
+        """Branches that actually touched data.
+
+        The router's *consistent* snapshot mode broadcasts BEGIN to
+        every shard, so a single-shard transaction still leaves empty
+        committed branches elsewhere; those carry no dependencies and
+        do not make the transaction distributed.
+        """
+        return tuple(
+            (shard, branch)
+            for shard, branch in self.branches
+            if branch.reads or branch.writes or branch.predicate_reads
+        )
+
+    @property
+    def is_read_only(self) -> bool:
+        """Read-only iff *every* branch is (``classify_cycle`` duck type)."""
+        return all(branch.is_read_only for _, branch in self.branches)
+
+    @property
+    def is_distributed(self) -> bool:
+        return len(self.active_branches) > 1
+
+
+@dataclass
+class DistributedReport:
+    """Outcome of certifying one merged cluster execution."""
+
+    serializable: bool
+    transactions: "dict[str, GlobalTransaction]"
+    edges: tuple[DependencyEdge, ...]
+    cycle: Optional[Cycle] = None
+    anomalies: tuple[str, ...] = ()
+    #: Per-shard *local* cycle witnesses (usually all ``None``: each
+    #: shard's own history is serializable even when the merge is not —
+    #: that gap is the cross-shard anomaly).
+    shard_cycles: "dict[int, Optional[Cycle]]" = None  # type: ignore[assignment]
+
+    @property
+    def cross_shard_only(self) -> bool:
+        """True when the anomaly is invisible to every individual shard."""
+        return (
+            not self.serializable
+            and all(c is None for c in (self.shard_cycles or {}).values())
+        )
+
+    def describe(self) -> str:
+        committed = len(self.transactions)
+        distributed = sum(
+            1 for t in self.transactions.values() if t.is_distributed
+        )
+        if self.serializable:
+            return (
+                f"cluster-serializable: {committed} global transactions "
+                f"({distributed} cross-shard), merged MVSG acyclic"
+            )
+        where = (
+            "invisible to every single shard"
+            if self.cross_shard_only
+            else "also visible on some shard"
+        )
+        return (
+            f"NOT cluster-serializable: cycle [{self.cycle}] "
+            f"anomalies={', '.join(self.anomalies)} ({where})"
+        )
+
+
+def merge_shard_histories(
+    histories: "Mapping[int, Sequence[CommittedTransaction]]",
+    *,
+    phantom_edges: bool = False,
+) -> DistributedReport:
+    """Certify a cluster execution from its per-shard committed histories.
+
+    ``histories`` maps shard index to that shard's recorded transactions.
+    Builds one MVSG per shard over the shard-local footprints, maps every
+    edge endpoint to its global transaction id, and unions the edges into
+    the global graph (deduplicating parallel edges of the same kind and
+    item).  Intra-transaction edges (both endpoints are branches of the
+    same global transaction) are dropped — a transaction never conflicts
+    with itself.
+    """
+    branches: "dict[str, list[tuple[int, CommittedTransaction]]]" = {}
+    edges: list[DependencyEdge] = []
+    adjacency: "dict[str, list[DependencyEdge]]" = {}
+    shard_cycles: "dict[int, Optional[Cycle]]" = {}
+    seen: set = set()
+    for shard in sorted(histories):
+        txns = tuple(histories[shard])
+        graph = MultiVersionSerializationGraph(
+            txns, phantom_edges=phantom_edges
+        )
+        shard_cycles[shard] = graph.find_cycle()
+        gid_of = {txn.txid: global_id(shard, txn) for txn in txns}
+        for txn in txns:
+            branches.setdefault(gid_of[txn.txid], []).append((shard, txn))
+        for edge in graph.edges:
+            source, target = gid_of[edge.source], gid_of[edge.target]
+            if source == target:
+                continue
+            key = (source, target, edge.kind, edge.item)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged = DependencyEdge(source, target, edge.kind, edge.item)
+            edges.append(merged)
+            adjacency.setdefault(source, []).append(merged)
+    transactions = {
+        gid: GlobalTransaction(
+            gid=gid,
+            label=split_label(parts[0][1].label)[0],
+            branches=tuple(parts),
+        )
+        for gid, parts in branches.items()
+    }
+    cycle = find_cycle_in(adjacency, roots=sorted(transactions))
+    if cycle is None:
+        return DistributedReport(
+            serializable=True,
+            transactions=transactions,
+            edges=tuple(edges),
+            shard_cycles=shard_cycles,
+        )
+    return DistributedReport(
+        serializable=False,
+        transactions=transactions,
+        edges=tuple(edges),
+        cycle=cycle,
+        anomalies=classify_cycle(cycle, transactions),
+        shard_cycles=shard_cycles,
+    )

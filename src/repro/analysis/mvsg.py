@@ -20,7 +20,7 @@ whose predicate-read tables are never written.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
 
 from repro.analysis.recorder import CommittedTransaction
 from repro.engine.locks import RowId
@@ -56,6 +56,60 @@ class Cycle:
 
     def __str__(self) -> str:
         return "; ".join(str(edge) for edge in self.edges)
+
+
+def find_cycle_in(
+    adjacency: "Mapping[Hashable, Sequence[DependencyEdge]]",
+    roots: "Optional[Sequence[Hashable]]" = None,
+) -> Optional[Cycle]:
+    """A cycle witness in an arbitrary dependency adjacency, or ``None``.
+
+    Shared by the per-history graph below (integer txids) and the
+    cluster-wide global graph (string global transaction ids) — node ids
+    only need to be hashable.  ``roots`` fixes the DFS start order (the
+    per-history graph passes its txids in numeric order so witnesses stay
+    deterministic); by default every node reachable in ``adjacency`` is a
+    root, in ``repr`` order.
+
+    Iterative DFS with colouring; reconstructs the edge sequence of the
+    first back-edge found.
+    """
+    if roots is None:
+        nodes = set(adjacency)
+        for edges in adjacency.values():
+            nodes.update(edge.target for edge in edges)
+        roots = sorted(nodes, key=repr)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in roots}
+    for root in roots:
+        if colour[root] != WHITE:
+            continue
+        path: list[DependencyEdge] = []
+        stack: "list[tuple[Hashable, int]]" = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, edge_index = stack[-1]
+            edges = adjacency.get(node, [])
+            if edge_index >= len(edges):
+                colour[node] = BLACK
+                stack.pop()
+                if path:
+                    path.pop()
+                continue
+            stack[-1] = (node, edge_index + 1)
+            edge = edges[edge_index]
+            if colour.get(edge.target, BLACK) == GREY:
+                path.append(edge)
+                start = next(
+                    i for i, e in enumerate(path) if e.source == edge.target
+                )
+                return Cycle(tuple(path[start:]))
+            if colour.get(edge.target, BLACK) == WHITE:
+                colour[edge.target] = GREY
+                path.append(edge)
+                stack.append((edge.target, 0))
+        # path is rebuilt per root
+    return None
 
 
 class MultiVersionSerializationGraph:
@@ -153,42 +207,8 @@ class MultiVersionSerializationGraph:
         return tuple(self._adjacency.get(txid, ()))
 
     def find_cycle(self) -> Optional[Cycle]:
-        """A cycle witness, or None when the history is serializable.
-
-        Iterative DFS with colouring; reconstructs the edge sequence of the
-        first back-edge found.
-        """
-        WHITE, GREY, BLACK = 0, 1, 2
-        colour = {txid: WHITE for txid in self.transactions}
-        for root in sorted(self.transactions):
-            if colour[root] != WHITE:
-                continue
-            path: list[DependencyEdge] = []
-            stack: list[tuple[int, int]] = [(root, 0)]
-            colour[root] = GREY
-            while stack:
-                node, edge_index = stack[-1]
-                edges = self._adjacency.get(node, [])
-                if edge_index >= len(edges):
-                    colour[node] = BLACK
-                    stack.pop()
-                    if path:
-                        path.pop()
-                    continue
-                stack[-1] = (node, edge_index + 1)
-                edge = edges[edge_index]
-                if colour.get(edge.target, BLACK) == GREY:
-                    path.append(edge)
-                    start = next(
-                        i for i, e in enumerate(path) if e.source == edge.target
-                    )
-                    return Cycle(tuple(path[start:]))
-                if colour.get(edge.target, BLACK) == WHITE:
-                    colour[edge.target] = GREY
-                    path.append(edge)
-                    stack.append((edge.target, 0))
-            # path is rebuilt per root
-        return None
+        """A cycle witness, or None when the history is serializable."""
+        return find_cycle_in(self._adjacency, roots=sorted(self.transactions))
 
     @property
     def is_serializable(self) -> bool:

@@ -138,6 +138,16 @@ class Connection:
     def stats(self) -> dict:
         raise NotImplementedError
 
+    def vacuum(self) -> int:
+        """Prune version-chain history; returns the versions dropped.
+
+        Every backend exposes the engine's :meth:`Database.vacuum`
+        maintenance entry point: locally it is a direct call, the network
+        backend sends a ``VACUUM`` op, and the cluster backend fans out to
+        every shard and sums.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
 
@@ -188,6 +198,9 @@ class LocalConnection(Connection):
             "crashed": self.db.is_crashed,
         }
 
+    def vacuum(self) -> int:
+        return self.db.vacuum()
+
     def close(self) -> None:
         """Nothing to release: the database outlives its connections."""
 
@@ -223,7 +236,10 @@ def connect(
     ----------
     url:
         ``local://`` for the in-process engine, ``tcp://host:port`` for a
-        running :class:`repro.net.DatabaseServer`.
+        running :class:`repro.net.DatabaseServer`, or
+        ``cluster://host:port,host:port[,...]`` for a sharded deployment
+        fronted by the :mod:`repro.cluster` router (one ``host:port`` per
+        shard, in shard order).
     database / schemas / isolation:
         Local backend only.  Pass an existing :class:`Database` *or* table
         ``schemas`` plus an ``isolation`` (``"si"`` / ``"commercial"`` /
@@ -278,9 +294,37 @@ def connect(
             timeout=timeout,
             url=url,
         )
+    if scheme == "cluster":
+        if database is not None or schemas is not None or isolation is not None:
+            raise ValueError(
+                "cluster:// connects to running shard servers; database/"
+                "schemas/isolation are server-side configuration"
+            )
+        addresses: list[tuple[str, int]] = []
+        for part in rest.split(","):
+            host, _, port_text = part.strip().partition(":")
+            if not host or not port_text:
+                raise ValueError(
+                    f"cluster URL must be cluster://host:port[,host:port...],"
+                    f" got {url!r}"
+                )
+            try:
+                addresses.append((host, int(port_text)))
+            except ValueError:
+                raise ValueError(f"invalid port in {url!r}") from None
+        from repro.cluster.router import ClusterConnection
+
+        return ClusterConnection(
+            addresses,
+            retry_policy=retry_policy,
+            obs=obs,
+            pool_size=pool_size,
+            timeout=timeout,
+            url=url,
+        )
     raise ValueError(
         f"unsupported URL scheme {scheme!r} in {url!r}; "
-        "expected local:// or tcp://host:port"
+        "expected local://, tcp://host:port or cluster://host:port,..."
     )
 
 

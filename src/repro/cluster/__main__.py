@@ -1,0 +1,141 @@
+"""``python -m repro.cluster`` — stand up a local sharded deployment.
+
+Builds N hash-partitioned SmallBank shards, serves each from its own
+:class:`~repro.net.DatabaseServer`, and prints the ``cluster://`` URL a
+client hands to :func:`repro.connect`.  Runs until stdin reaches EOF
+(same subprocess-control convention as ``python -m repro.net``)::
+
+    LISTENING <port> <port> ...     once every shard socket is bound
+    CLUSTER cluster://host:p1,host:p2
+    STATS <json>                    merged counters after shutdown
+
+Quickstart::
+
+    PYTHONPATH=src python -m repro.cluster --shards 2 &
+    PYTHONPATH=src python -c "
+    import repro
+    conn = repro.connect('cluster://127.0.0.1:7751,127.0.0.1:7752')
+    with conn.transaction('Balance') as txn:
+        print(txn.select('Checking', 1))"
+
+``--smoke`` instead runs a short self-contained workload (all five
+SmallBank programs at MPL 4) against the cluster, certifies the merged
+global trace, and exits non-zero if it is not serializable under the
+requested strategy — the CI cluster smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import ISOLATION_CONFIGS
+from repro.cluster.router import Cluster
+
+
+def _smoke(
+    cluster: Cluster,
+    mpl: int,
+    duration: float,
+    strategy_key: str,
+    customers: int,
+) -> int:
+    """Five-program uniform mix at MPL ``mpl``; certify the merged trace."""
+    from repro.analysis import merge_shard_histories
+    from repro.smallbank.strategies import get_strategy
+    from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
+
+    strategy = get_strategy(strategy_key)
+    connection = cluster.connect()
+    try:
+        stats = ThreadedDriver(
+            None,
+            strategy.transactions(),
+            ThreadedDriverConfig(
+                mpl=mpl,
+                customers=customers,
+                hotspot=max(2, customers // 4),
+                mix="uniform",
+                duration=duration,
+            ),
+            connection=connection,
+        ).run()
+        connection.flush()  # settle deferred read-only COMMITs
+        counters = connection.counters()
+    finally:
+        connection.close()
+    report = merge_shard_histories(cluster.histories())
+    print(f"SMOKE {report.describe()}", flush=True)
+    print(
+        "STATS "
+        + json.dumps(
+            {
+                "commits": stats.total_commits,
+                "aborts": stats.abort_count(),
+                "serializable": report.serializable,
+                "strategy": strategy_key,
+                **counters,
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    return 0 if report.serializable else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--customers", type=int, default=100)
+    parser.add_argument(
+        "--isolation", default="si", choices=sorted(ISOLATION_CONFIGS)
+    )
+    parser.add_argument(
+        "--autovacuum", type=float, default=None, metavar="SECONDS",
+        help="per-shard periodic version-chain vacuum",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run a short five-program workload, certify, and exit",
+    )
+    parser.add_argument("--mpl", type=int, default=4)
+    parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="smoke workload duration in seconds",
+    )
+    parser.add_argument(
+        "--strategy", default="promote-all",
+        help="SmallBank strategy key for --smoke (e.g. base-si, promote-all)",
+    )
+    args = parser.parse_args(argv)
+
+    cluster = Cluster(
+        args.shards,
+        customers=args.customers,
+        isolation=args.isolation,
+        autovacuum_interval=args.autovacuum,
+    )
+    try:
+        ports = " ".join(str(port) for _host, port in cluster.addresses)
+        print(f"LISTENING {ports}", flush=True)
+        print(f"CLUSTER {cluster.url}", flush=True)
+        if args.smoke:
+            return _smoke(
+                cluster, args.mpl, args.duration, args.strategy, args.customers
+            )
+        try:
+            sys.stdin.read()  # block until the parent closes our stdin
+        except KeyboardInterrupt:
+            pass
+        stats = [server.stats() for server in cluster.servers]
+        print(f"STATS {json.dumps(stats, sort_keys=True)}", flush=True)
+        return 0
+    finally:
+        cluster.shutdown()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Presumed-abort two-phase commit coordinator (DESIGN.md §12.4).
+
+Phase 1 sends ``PREPARE_2PC`` to every *writing* branch in shard order;
+a participant votes YES by making the prepare record durable and moving
+the transaction to PREPARED, or votes NO by aborting it (any engine
+error — serialization failure, SSI doom, integrity violation — IS the NO
+vote).  Phase 2 delivers the decision: ``COMMIT_2PC`` to every prepared
+branch under the oracle's exclusive decision window, or ``ABORT_2PC`` to
+the branches already prepared when some later vote came back NO.
+
+*Presumed abort*: the coordinator logs nothing.  Its decision lives in
+the participants' WALs — a durable prepare followed by a durable
+decision record means committed; a durable prepare with no decision
+means the coordinator presumed abort (participants surface such
+transactions as *in doubt* after recovery, and :meth:`resolve_in_doubt`
+re-delivers the outcome).  The in-memory ``_decisions`` map stands in
+for the coordinator's volatile state in the protocol's recovery story.
+
+``decision_hook`` is a test seam: called between per-participant
+COMMIT_2PC deliveries so a concurrent *lazy-mode* reader can be wedged
+into the middle of a decision broadcast (the fractured-read demo).  It
+must never be used with consistent-mode readers — those block on the
+oracle latch the hook's caller is holding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.oracle import TimestampOracle
+from repro.errors import ReproError, TransactionStateError
+
+
+class TwoPhaseCoordinator:
+    """Drives prepare/decide across one cluster's shard branches."""
+
+    def __init__(
+        self,
+        oracle: TimestampOracle,
+        *,
+        decision_hook: "Optional[Callable[[str, int], None]]" = None,
+    ) -> None:
+        self.oracle = oracle
+        self.decision_hook = decision_hook
+        #: gtid -> "commit" | "abort" (volatile coordinator memory).
+        self._decisions: "dict[str, str]" = {}
+
+    def decision_for(self, gtid: str) -> Optional[str]:
+        return self._decisions.get(gtid)
+
+    def commit_two_phase(self, gtid: str, writers: Sequence) -> None:
+        """Atomically commit ``writers`` (network sessions) under ``gtid``.
+
+        Raises the first NO vote's error after rolling the already
+        prepared branches back.  Decision delivery errors (a participant
+        crashing *after* the decision was recorded) are re-raised once
+        every reachable participant has been told — the decision stands
+        and recovery re-delivers it to the rest.
+        """
+        prepared = []
+        try:
+            for branch in writers:
+                branch.prepare_2pc(gtid)
+                prepared.append(branch)
+        except BaseException:
+            self._decisions[gtid] = "abort"
+            for branch in prepared:
+                try:
+                    branch.abort_2pc(gtid)
+                except ReproError:
+                    pass  # recovery presumes abort for us
+            raise
+        self._decisions[gtid] = "commit"
+        delivery_error: Optional[BaseException] = None
+        with self.oracle.decision_window():
+            for index, branch in enumerate(prepared):
+                if index and self.decision_hook is not None:
+                    self.decision_hook(gtid, index)
+                try:
+                    branch.commit_2pc(gtid)
+                except ReproError as exc:
+                    if delivery_error is None:
+                        delivery_error = exc
+        if delivery_error is not None:
+            raise delivery_error
+
+    def resolve_in_doubt(self, gtid: str, connections: Sequence) -> str:
+        """Re-deliver the outcome of ``gtid`` to recovered participants.
+
+        ``connections`` are shard *connections* (not sessions): decision
+        ops address transactions by gtid, independent of any wire
+        session.  Unknown gtids are presumed aborted — exactly the
+        protocol's answer to "prepared, but the coordinator forgot".
+        """
+        decision = self._decisions.get(gtid, "abort")
+        for connection in connections:
+            try:
+                if decision == "commit":
+                    connection.commit_2pc(gtid)
+                else:
+                    connection.abort_2pc(gtid)
+            except TransactionStateError:
+                # Participant never prepared this gtid (or already
+                # resolved it the same way) — nothing to re-deliver.
+                pass
+        return decision

@@ -1,0 +1,80 @@
+"""Coordinator-side timestamp oracle (DESIGN.md §12.3).
+
+Shards have independent commit clocks, so "one consistent snapshot across
+all shards" cannot be expressed as a timestamp — there is no global
+clock to name.  The oracle instead serialises *events*: taking a snapshot
+(BEGIN broadcast) and applying a 2PC decision (COMMIT_2PC broadcast) are
+the two cluster-wide moments that must not interleave, and the oracle is
+a reader-writer latch over exactly that pair.
+
+* ``snapshot_window()`` — **shared**.  Any number of transactions may
+  open their per-shard snapshots concurrently; none of them can overlap
+  a decision broadcast, so each one sees every distributed commit on
+  either *all* shards or *none* (no fractured reads).
+* ``decision_window()`` — **exclusive**.  One coordinator delivers its
+  COMMIT_2PC messages to all participants while no snapshot opens and no
+  other decision broadcasts.
+
+The lazy snapshot mode deliberately bypasses ``snapshot_window()`` (its
+per-shard BEGINs happen on first touch, long after cluster-begin) —
+that is the mode whose fractured reads the cluster demo exhibits.
+
+The oracle also hands out the monotonically increasing global transaction
+ids (``gtid``) that name distributed transactions in 2PC and in merged
+traces.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class TimestampOracle:
+    """Gtid source + snapshot/decision reader-writer latch."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._next_gtid = 0
+        self._readers = 0          # open snapshot windows
+        self._writer = False       # a decision broadcast in progress
+        self._writers_waiting = 0  # decisions queued (blocks new readers)
+
+    def next_gtid(self) -> int:
+        with self._mutex:
+            self._next_gtid += 1
+            return self._next_gtid
+
+    @contextmanager
+    def snapshot_window(self):
+        """Shared: hold while broadcasting BEGIN to every shard."""
+        with self._cond:
+            # Writer preference: a queued decision keeps new snapshots
+            # out, so a steady stream of begins cannot starve commits.
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def decision_window(self):
+        """Exclusive: hold while delivering one COMMIT_2PC to all shards."""
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()

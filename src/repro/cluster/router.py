@@ -1,0 +1,558 @@
+"""Shard-aware router: ``cluster://`` backend of the facade (DESIGN.md §12).
+
+:class:`ClusterConnection` fronts N independent
+:class:`~repro.net.DatabaseServer` shards behind the ordinary
+:class:`repro.api.Connection` surface; :class:`ClusterSession` routes
+every statement to the shard owning its partition key and commits with
+presumed-abort 2PC — unless the transaction wrote on at most one shard,
+in which case it takes the **fast path**: a plain per-shard COMMIT with
+the existing pipelining/piggybacking intact, no prepare round at all.
+
+Snapshot modes (``snapshot_mode=``):
+
+* ``"consistent"`` (default) — cluster-begin broadcasts BEGIN to every
+  shard inside the oracle's shared snapshot window, so no decision
+  broadcast can land between the per-shard snapshots: the transaction
+  sees every distributed commit on all shards or on none.
+* ``"lazy"`` — per-shard BEGINs ride on the first statement touching the
+  shard (the single-node deferred-BEGIN behaviour, cheapest, preserves
+  the fast path's one-round-trip shape end to end) but admits
+  *fractured reads*: a snapshot taken on shard A before a decision and
+  on shard B after it sees half a distributed commit.
+
+The in-process :class:`Cluster` helper stands up a full sharded
+deployment (partitioned populations, per-shard recorders, real TCP
+servers) in one object for tests, demos and the smoke benchmark.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Optional, Sequence
+
+from repro.api import Connection
+from repro.cluster.coordinator import TwoPhaseCoordinator
+from repro.cluster.oracle import TimestampOracle
+from repro.cluster.partition import (
+    PARTITION_COLUMNS,
+    HashPartitioner,
+    build_shard_database,
+)
+from repro.errors import SqlError, TransactionStateError
+from repro.net.client import NetworkConnection, NetworkSession, _unwrap
+from repro.sqlmini.ast import Insert, Select, equality_key, evaluate
+from repro.sqlmini.executor import StatementResult, parse_cached
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+    from repro.workload.retry import RetryPolicy
+
+Row = dict
+
+
+class _UnwrapParams:
+    """Read-only params view resolving lazy pipeline bindings on access."""
+
+    __slots__ = ("_params",)
+
+    def __init__(self, params: "Mapping[str, object]") -> None:
+        self._params = params
+
+    def __getitem__(self, name: str) -> object:
+        return _unwrap(self._params[name])
+
+    def __contains__(self, name: str) -> bool:  # pragma: no cover - parity
+        return name in self._params
+
+
+class ClusterSession:
+    """One global transaction at a time across the cluster's shards.
+
+    Mirrors the facade session surface; every operation routes to the
+    branch (per-shard :class:`NetworkSession`) owning its partition key.
+    The branch labels carry the global transaction id
+    (``"Amalgamate#g17"``) so per-shard traces merge back into global
+    transactions (:func:`repro.analysis.merge_shard_histories`).
+    """
+
+    def __init__(self, cluster: "ClusterConnection") -> None:
+        self._cluster = cluster
+        self._branches: "dict[int, NetworkSession]" = {}
+        self._in_txn = False
+        self._label = ""
+        self._tagged = ""
+        self._gtid = ""
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+    def begin(self, label: str = "") -> None:
+        if self._in_txn:
+            raise TransactionStateError(
+                "session already has an active transaction"
+            )
+        number = self._cluster.oracle.next_gtid()
+        self._gtid = f"g{number}"
+        self._label = label
+        self._tagged = f"{label}#{self._gtid}"
+        self._in_txn = True
+        if self._cluster.snapshot_mode == "consistent":
+            # All per-shard snapshots open inside one shared window: no
+            # 2PC decision broadcast can interleave them.
+            with self._cluster.oracle.snapshot_window():
+                for shard, connection in enumerate(self._cluster.shards):
+                    branch = connection.session()
+                    self._branches[shard] = branch
+                    branch.begin_now(self._tagged)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    @property
+    def gtid(self) -> str:
+        """The current (or last) global transaction id, e.g. ``"g17"``."""
+        return self._gtid
+
+    @property
+    def shards_touched(self) -> tuple[int, ...]:
+        return tuple(sorted(self._branches))
+
+    def _branch(self, shard: int) -> NetworkSession:
+        branch = self._branches.get(shard)
+        if branch is None:
+            if not self._in_txn:
+                raise TransactionStateError("no active transaction")
+            branch = self._cluster.shards[shard].session()
+            self._branches[shard] = branch
+            branch.begin(self._tagged)  # lazy mode: deferred BEGIN
+        return branch
+
+    def _all_branches(self) -> "list[NetworkSession]":
+        return [self._branch(s) for s in range(len(self._cluster.shards))]
+
+    def commit(self) -> None:
+        """Fast path or 2PC, by how many shards this transaction wrote.
+
+        Read-only branches always commit plainly — under SI a read-only
+        commit cannot fail, so there is nothing for them to vote on and
+        they keep the single-node deferred-ack shortcut.  With at most
+        one *writing* branch, atomicity is that single shard's local
+        commit and the writer commits plainly too (no prepare round —
+        the fast path the benchmark measures).  Two or more writers go
+        through the presumed-abort coordinator.
+        """
+        try:
+            branches = [self._branches[s] for s in sorted(self._branches)]
+            writers = [b for b in branches if not b.is_readonly]
+            if len(writers) <= 1:
+                for branch in branches:
+                    branch.commit()
+                self._cluster._count("fastpath_commits")
+            else:
+                for branch in branches:
+                    if branch.is_readonly:
+                        branch.commit()
+                try:
+                    self._cluster.coordinator.commit_two_phase(
+                        self._gtid, writers
+                    )
+                except BaseException:
+                    self._cluster._count("twopc_aborts")
+                    raise
+                self._cluster._count("twopc_commits")
+        finally:
+            self._in_txn = False
+            self._release_branches()
+
+    def rollback(self) -> None:
+        try:
+            for shard in sorted(self._branches):
+                branch = self._branches[shard]
+                if branch.in_transaction:
+                    branch.rollback()
+        finally:
+            self._in_txn = False
+            self._release_branches()
+
+    def close(self) -> None:
+        if self._in_txn:
+            self.rollback()
+        else:
+            self._release_branches()
+
+    def _release_branches(self) -> None:
+        branches, self._branches = self._branches, {}
+        for shard in sorted(branches):
+            branches[shard].close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _shard_for(self, table: str, key: Hashable) -> int:
+        return self._cluster.partitioner.shard_for_row(table, _unwrap(key))
+
+    def select(
+        self, table: str, key: Hashable, *, kind: str = "select"
+    ) -> Optional[Row]:
+        return self._branch(self._shard_for(table, key)).select(
+            table, key, kind=kind
+        )
+
+    def select_for_update(
+        self, table: str, key: Hashable, *, kind: str = "select-for-update"
+    ) -> Optional[Row]:
+        return self._branch(self._shard_for(table, key)).select_for_update(
+            table, key, kind=kind
+        )
+
+    def lookup_unique(
+        self, table: str, column: str, value: Hashable, *, kind: str = "select"
+    ) -> "Optional[tuple[Hashable, Row]]":
+        partitioner = self._cluster.partitioner
+        if column == PARTITION_COLUMNS.get(table):
+            shard = partitioner.shard_for_row(table, _unwrap(value))
+            return self._branch(shard).lookup_unique(
+                table, column, value, kind=kind
+            )
+        if table == "Account" and column == "CustomerId":
+            # Unique but not the partition column; still customer-keyed.
+            shard = partitioner.shard_for_customer(int(_unwrap(value)))
+            return self._branch(shard).lookup_unique(
+                table, column, value, kind=kind
+            )
+        for branch in self._all_branches():  # no shard-local index: probe all
+            found = branch.lookup_unique(table, column, value, kind=kind)
+            if found is not None:
+                return found
+        return None
+
+    def scan(
+        self,
+        table: str,
+        predicate: "Optional[Callable[[Row], bool]]" = None,
+        description: str = "<scan>",
+        *,
+        kind: str = "scan",
+    ) -> "list[tuple[Hashable, Row]]":
+        matches: "list[tuple[Hashable, Row]]" = []
+        for branch in self._all_branches():
+            matches.extend(branch.scan(table, predicate, description, kind=kind))
+        matches.sort(key=lambda pair: repr(pair[0]))
+        return matches
+
+    def update(
+        self, table: str, key: Hashable, changes, *, kind: str = "update"
+    ) -> bool:
+        return self._branch(self._shard_for(table, key)).update(
+            table, key, changes, kind=kind
+        )
+
+    def identity_update(
+        self, table: str, key: Hashable, column: str, *, kind: str = "identity-update"
+    ) -> bool:
+        return self._branch(self._shard_for(table, key)).identity_update(
+            table, key, column, kind=kind
+        )
+
+    def write(
+        self, table: str, key: Hashable, row: Optional[Row], *, kind: str = "update"
+    ) -> None:
+        self._branch(self._shard_for(table, key)).write(
+            table, key, row, kind=kind
+        )
+
+    def insert(self, table: str, row: Row, *, kind: str = "insert") -> None:
+        column = PARTITION_COLUMNS.get(table)
+        if column is None or column not in row:
+            raise SqlError(
+                f"cannot route INSERT into {table!r}: no partition key"
+            )
+        shard = self._cluster.partitioner.shard_for_row(table, row[column])
+        self._branch(shard).insert(table, row, kind=kind)
+
+    def delete(self, table: str, key: Hashable, *, kind: str = "delete") -> None:
+        self._branch(self._shard_for(table, key)).delete(table, key, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Mini-SQL
+    # ------------------------------------------------------------------
+    def _route_meta(self, sql: str):
+        """``(table, partition-key expr)`` for one statement, cached.
+
+        The expr is the column-free WHERE conjunct constraining the
+        table's partition column (or the INSERT value for it) —
+        evaluating it against the call's parameters names the one shard
+        the statement can touch.
+        """
+        meta = self._cluster._route_meta.get(sql)
+        if meta is None:
+            statement = parse_cached(sql)
+            table = statement.table
+            column = PARTITION_COLUMNS.get(table)
+            expr = None
+            if column is not None:
+                if isinstance(statement, Insert):
+                    if column in statement.columns:
+                        expr = statement.values[
+                            statement.columns.index(column)
+                        ]
+                else:
+                    expr = equality_key(statement.where, column)
+                    if (
+                        expr is None
+                        and isinstance(statement, Select)
+                        and table == "Account"
+                    ):
+                        # Account is also uniquely customer-keyed.
+                        expr = equality_key(statement.where, "CustomerId")
+                        if expr is not None:
+                            meta = (table, expr, True)
+            if meta is None:
+                meta = (table, expr, False)
+            self._cluster._route_meta[sql] = meta
+        return meta
+
+    def execute_prepared(
+        self,
+        sql: str,
+        kind: Optional[str],
+        params: "dict[str, object]",
+    ) -> StatementResult:
+        table, expr, by_customer_id = self._route_meta(sql)
+        if expr is None:
+            raise SqlError(
+                f"cannot route statement on {table!r}: WHERE does not "
+                f"constrain the partition column "
+                f"{PARTITION_COLUMNS.get(table)!r} by equality"
+            )
+        # Evaluating the routing expr may force a lazy binding from an
+        # earlier pipelined SELECT; the binding drains its own branch's
+        # pipeline, so cross-branch dependencies stay correct.
+        value = evaluate(expr, None, _UnwrapParams(params))
+        if by_customer_id:
+            shard = self._cluster.partitioner.shard_for_customer(int(value))
+        else:
+            shard = self._cluster.partitioner.shard_for_row(table, value)
+        return self._branch(shard).execute_prepared(sql, kind, params)
+
+
+class ClusterConnection(Connection):
+    """Facade connection over one :class:`NetworkConnection` per shard."""
+
+    def __init__(
+        self,
+        addresses: "Sequence[tuple[str, int]]",
+        *,
+        retry_policy: "Optional[RetryPolicy]" = None,
+        obs: "Observability | None" = None,
+        pool_size: int = 8,
+        timeout: Optional[float] = 10.0,
+        url: str = "",
+        snapshot_mode: str = "consistent",
+        decision_hook: "Optional[Callable[[str, int], None]]" = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("cluster needs at least one shard address")
+        if snapshot_mode not in ("consistent", "lazy"):
+            raise ValueError(
+                f"snapshot_mode must be 'consistent' or 'lazy', "
+                f"got {snapshot_mode!r}"
+            )
+        self.retry_policy = retry_policy
+        self.obs = obs
+        self.snapshot_mode = snapshot_mode
+        self.url = url or "cluster://" + ",".join(
+            f"{host}:{port}" for host, port in addresses
+        )
+        self.partitioner = HashPartitioner(len(addresses))
+        self.oracle = TimestampOracle()
+        self.coordinator = TwoPhaseCoordinator(
+            self.oracle, decision_hook=decision_hook
+        )
+        self.shards: "list[NetworkConnection]" = []
+        try:
+            for host, port in addresses:
+                self.shards.append(
+                    NetworkConnection(
+                        host,
+                        port,
+                        retry_policy=retry_policy,
+                        obs=obs,
+                        pool_size=pool_size,
+                        timeout=timeout,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "fastpath_commits": 0,
+            "twopc_commits": 0,
+            "twopc_aborts": 0,
+        }
+        #: sql -> (table, routing expr, via-CustomerId), shared by sessions.
+        self._route_meta: "dict[str, tuple]" = {}
+
+    def _count(self, name: str) -> None:
+        with self._counter_lock:
+            self._counters[name] += 1
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def counters(self) -> "dict[str, int]":
+        """Router-side commit-path counters (fast path vs 2PC)."""
+        with self._counter_lock:
+            return dict(self._counters)
+
+    # --- Connection surface -------------------------------------------
+    def session(self) -> ClusterSession:
+        return ClusterSession(self)
+
+    def ping(self) -> bool:
+        return all(shard.ping() for shard in self.shards)
+
+    def stats(self) -> dict:
+        merged: dict = {
+            "backend": "cluster",
+            "shards": self.shard_count,
+            "snapshot_mode": self.snapshot_mode,
+            **self.counters(),
+        }
+        merged["shard_stats"] = [shard.stats() for shard in self.shards]
+        return merged
+
+    def vacuum(self) -> int:
+        return sum(shard.vacuum() for shard in self.shards)
+
+    def flush(self) -> None:
+        """Settle deferred read-only COMMITs on every shard's idle wires.
+
+        Call before reading per-shard execution traces: until flushed, a
+        read-only transaction's queued COMMIT has not reached its shard
+        and the shard's recorder has not observed it.
+        """
+        for shard in self.shards:
+            shard.flush()
+
+    def resolve_in_doubt(self) -> "dict[str, str]":
+        """Re-deliver coordinator decisions to shards recovered in doubt."""
+        outcomes: "dict[str, str]" = {}
+        for shard in self.shards:
+            stats = shard.stats()
+            if not stats.get("in_doubt_2pc"):
+                continue
+            for gtid in stats.get("in_doubt_gtids", ()):
+                outcomes[gtid] = self.coordinator.resolve_in_doubt(
+                    gtid, [shard]
+                )
+        return outcomes
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+class Cluster:
+    """An in-process sharded deployment: N servers over partitioned data.
+
+    Owns per-shard databases (partition-identical population),
+    per-shard :class:`~repro.analysis.ExecutionRecorder`\\ s, and real
+    TCP :class:`~repro.net.DatabaseServer`\\ s — everything a test, demo
+    or smoke benchmark needs to exercise the cluster end to end::
+
+        with Cluster(shard_count=2, customers=40) as cluster:
+            conn = cluster.connect()
+            ...
+            report = merge_shard_histories(cluster.histories())
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        *,
+        customers: int = 40,
+        isolation: str = "si",
+        seed: Optional[int] = None,
+        autovacuum_interval: Optional[float] = None,
+    ) -> None:
+        from repro.api import ISOLATION_CONFIGS
+        from repro.analysis.recorder import record_database
+        from repro.net.server import DatabaseServer
+        from repro.smallbank.schema import PopulationConfig
+
+        population = (
+            PopulationConfig(customers=customers)
+            if seed is None
+            else PopulationConfig(customers=customers, seed=seed)
+        )
+        self.shard_count = shard_count
+        self.partitioner = HashPartitioner(shard_count)
+        self.databases = []
+        self.recorders = []
+        self.servers = []
+        try:
+            for shard in range(shard_count):
+                db = build_shard_database(
+                    ISOLATION_CONFIGS[isolation](),
+                    population,
+                    shard_index=shard,
+                    shard_count=shard_count,
+                )
+                self.databases.append(db)
+                self.recorders.append(record_database(db))
+                server = DatabaseServer(
+                    db, autovacuum_interval=autovacuum_interval
+                )
+                server.start_in_thread()
+                self.servers.append(server)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    @property
+    def addresses(self) -> "list[tuple[str, int]]":
+        return [(server.host, server.port) for server in self.servers]
+
+    @property
+    def url(self) -> str:
+        return "cluster://" + ",".join(
+            f"{host}:{port}" for host, port in self.addresses
+        )
+
+    def connect(self, **kwargs) -> ClusterConnection:
+        kwargs.setdefault("url", self.url)
+        return ClusterConnection(self.addresses, **kwargs)
+
+    def histories(self):
+        """Per-shard committed histories, ready for the global merge."""
+        return {
+            shard: recorder.committed
+            for shard, recorder in enumerate(self.recorders)
+        }
+
+    def total_money(self) -> float:
+        """Cluster-wide balance sum (matches the single-node population)."""
+        total = 0.0
+        for db in self.databases:
+            txn = db.begin("audit")
+            for table in ("Saving", "Checking"):
+                for _key, row in db.scan(txn, table):
+                    total += row["Balance"]
+            db.commit(txn)
+        return round(total, 2)
+
+    def shutdown(self) -> None:
+        for server in self.servers:
+            server.shutdown()
+        self.servers = []
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

@@ -101,6 +101,7 @@ from repro.errors import (
     IntegrityError,
     SerializationFailure,
     SsiAbort,
+    TransactionStateError,
 )
 from repro.faults import FaultPlan
 
@@ -188,6 +189,22 @@ class Database:
         # Bootstrap rows double as the recovery checkpoint: load_row data
         # is "already on disk" and survives crashes without a WAL record.
         self._bootstrap: list[tuple[str, dict[str, object]]] = []
+        # Two-phase-commit participant state (DESIGN.md §12) -------------
+        #: Live prepared transactions by global transaction id.  A
+        #: prepared transaction also stays in ``_active`` (it pins the
+        #: vacuum horizon and counts as concurrent for the SSI certifier)
+        #: but no session owns it any more: only a coordinator decision
+        #: can resolve it.
+        self._prepared: dict[str, Transaction] = {}
+        #: Redo payloads of prepare records that survived a crash with no
+        #: decision on the log — in-doubt until the coordinator re-delivers
+        #: its decision (presumed abort: an ABORT_2PC needs no durable
+        #: trace).  Populated by :mod:`repro.engine.recovery`.
+        self._in_doubt: dict[str, WalRecord] = {}
+        #: Decided gtids -> ("committed", commit_ts) | ("aborted", 0), for
+        #: idempotent decision re-delivery (a coordinator may retry after
+        #: a timeout and must get the same answer).
+        self._resolved_gtids: dict[str, tuple[str, int]] = {}
 
     def _stripe(self, row_id: RowId) -> threading.Lock:
         return self._stripes[hash(row_id) % self._nstripes]
@@ -279,6 +296,12 @@ class Database:
     def _crash_locked(self) -> None:
         self._crashed = True
         self._active.clear()
+        # Prepared transactions lose their in-memory state like everyone
+        # else; their durable prepare records make them in-doubt on the
+        # *recovered* instance (recovery re-populates _in_doubt there).
+        self._prepared.clear()
+        self._resolved_gtids.clear()
+        self._in_doubt.clear()
         # Records staged for group commit were never flushed: spill them
         # into the volatile tail so the truncation below discards them —
         # their committers learn the commit was lost when their sync sees
@@ -788,6 +811,260 @@ class Database:
             self._ssi.on_resolve(txn, self._active.values())
         if self._obs is not None:
             self._obs.engine_abort(txn, reason)
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (participant side, presumed abort — DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def prepare_commit(self, txn: Transaction, gtid: str) -> None:
+        """Phase one: validate ``txn`` and durably log its YES vote.
+
+        Runs the *validation* half of :meth:`commit` (SSI doom,
+        first-committer-wins, unique constraints) and, if it passes,
+        moves the transaction to ``PREPARED``: its write set is appended
+        to the WAL as a ``prepare`` record under ``gtid`` and flushed
+        before this method returns — the durability point of the vote.
+        Nothing is published: the transaction keeps all its row locks and
+        stays invisible (and in ``_active``, pinning the vacuum horizon)
+        until the coordinator delivers a decision via
+        :meth:`commit_prepared` / :meth:`abort_prepared`.
+
+        Validation failures abort the transaction and raise exactly as
+        :meth:`commit` would — that *is* the NO vote.  A crash after the
+        flush leaves the prepare on the durable log with no decision;
+        recovery stashes it as in-doubt and presumed abort means the
+        coordinator (who never got our YES, or aborted globally) need do
+        nothing for it to stay dead.
+
+        Unique-constraint validation runs at prepare time against the
+        then-current committed state; the held exclusive locks freeze the
+        transaction's *own* rows until the decision, but an unrelated
+        insert may commit a conflicting unique value in the prepare→decide
+        window.  The SmallBank workloads never insert during a run, so the
+        window is acceptable for this reproduction (and documented).
+        """
+        with self._commit_mutex:
+            self._ensure_not_crashed()
+            txn.ensure_active()
+            if (
+                gtid in self._prepared
+                or gtid in self._in_doubt
+                or gtid in self._resolved_gtids
+            ):
+                raise TransactionStateError(
+                    f"global transaction id {gtid!r} is already in use"
+                )
+            if self._ssi is not None and self._ssi.is_doomed(txn):
+                self._abort_locked(txn, reason="ssi")
+                callbacks = txn.drain_callbacks()
+                self._fire(callbacks, txn)
+                raise SsiAbort(
+                    f"txn {txn.txid} ({txn.label}) is an SSI pivot"
+                )
+            if self.config.write_conflict is WriteConflictPolicy.FIRST_COMMITTER_WINS:
+                conflict = self._first_committer_conflict(txn)
+                if conflict is not None:
+                    self._abort_locked(txn, reason="serialization")
+                    callbacks = txn.drain_callbacks()
+                    self._fire(callbacks, txn)
+                    raise SerializationFailure(conflict)
+            if txn.writes:
+                staged_by_table: dict[
+                    str, dict[Hashable, Optional[Row]]
+                ] = {}
+                for (tn, k), v in txn.writes.items():
+                    staged_by_table.setdefault(tn, {})[k] = v
+                probe_ts = self.clock.peek_next()
+                for row_id in txn.write_order:
+                    tn, key = row_id
+                    self.catalog.table(tn).check_unique_on_commit(
+                        key, txn.writes[row_id], probe_ts,
+                        staged=staged_by_table[tn],
+                    )
+            record = WalRecord(
+                commit_ts=0,  # no timestamp until the decision
+                txid=txn.txid,
+                label=txn.label,
+                rows=tuple(txn.write_order),
+                redo=tuple(
+                    (row_id, txn.writes[row_id])
+                    for row_id in txn.write_order
+                ),
+                kind="prepare",
+                gtid=gtid,
+            )
+            txn.status = TxnStatus.PREPARED
+            txn.gtid = gtid
+            self._prepared[gtid] = txn
+            # Deliberately NOT drained: resolution callbacks (lock waiters)
+            # stay queued — the locks are still held.  The txn also stays
+            # in _active so vacuum and the SSI certifier keep seeing it.
+            if self._obs is not None:
+                self._obs.engine_wal_stage(txn, record)
+        # Durability point of the YES vote: the prepare record must be on
+        # stable storage before the coordinator may count the vote.
+        self._group_commit.append_durable(self.wal, record)
+
+    def commit_prepared(self, gtid: str) -> int:
+        """Phase two, commit decision: publish and timestamp ``gtid``.
+
+        Two paths: a *live* prepared transaction (normal operation)
+        publishes its staged versions exactly like :meth:`commit`; an
+        *in-doubt* prepare record (re-delivered decision after a crash —
+        the participant recovery hook) replays the record's redo payload.
+        Either way a small ``commit-2pc`` decision record (no redo) is
+        made durable and the gtid is remembered so re-delivery is
+        idempotent.  Returns this shard's commit timestamp.
+        """
+        callbacks: list[Callable[[Transaction], None]] = []
+        txn: Optional[Transaction] = None
+        obs = self._obs
+        commit_started = obs.now() if obs is not None else 0.0
+        with self._commit_mutex:
+            self._ensure_not_crashed()
+            decided = self._resolved_gtids.get(gtid)
+            if decided is not None:
+                outcome, decided_ts = decided
+                if outcome == "committed":
+                    return decided_ts
+                raise TransactionStateError(
+                    f"global transaction {gtid!r} was already aborted"
+                )
+            txn = self._prepared.pop(gtid, None)
+            commit_ts = self.clock.peek_next()
+            if txn is not None:
+                txn.commit_ts = commit_ts
+                for row_id in txn.write_order:
+                    table_name, key = row_id
+                    table = self.catalog.table(table_name)
+                    value = txn.writes[row_id]
+                    chain = table.chain_or_create(key)
+                    version = Version(
+                        commit_ts=commit_ts, txid=txn.txid, value=value
+                    )
+                    chain.append_committed(version)
+                    if (
+                        chain.uncommitted is not None
+                        and chain.uncommitted.txid == txn.txid
+                    ):
+                        chain.uncommitted = None
+                    table.index_committed_version(key, version)
+                for table_name, key in txn.cc_writes:
+                    table = self.catalog.table(table_name)
+                    table.cc_write_ts[key] = commit_ts
+                record = WalRecord(
+                    commit_ts=commit_ts,
+                    txid=txn.txid,
+                    label=txn.label,
+                    rows=(),
+                    redo=(),
+                    kind="commit-2pc",
+                    gtid=gtid,
+                )
+            else:
+                stash = self._in_doubt.pop(gtid, None)
+                if stash is None:
+                    raise TransactionStateError(
+                        f"no prepared transaction for gtid {gtid!r}"
+                    )
+                # Recovery hook: the prepare survived a crash; apply its
+                # redo payload at a fresh timestamp on this (recovered)
+                # instance — same effect the live publish would have had.
+                for row_id, value in stash.redo:
+                    table_name, key = row_id
+                    table = self.catalog.table(table_name)
+                    frozen = freeze_row(value)
+                    version = Version(
+                        commit_ts=commit_ts, txid=stash.txid, value=frozen
+                    )
+                    chain = table.chain_or_create(key)
+                    chain.append_committed(version)
+                    table.index_committed_version(key, version)
+                record = WalRecord(
+                    commit_ts=commit_ts,
+                    txid=stash.txid,
+                    label=stash.label,
+                    rows=(),
+                    redo=(),
+                    kind="commit-2pc",
+                    gtid=gtid,
+                )
+            issued = self.clock.next()  # the tick that makes it visible
+            assert issued == commit_ts, "commit tick raced the reservation"
+            self._group_commit.stage(record)
+            self._resolved_gtids[gtid] = ("committed", commit_ts)
+            if txn is not None:
+                if obs is not None:
+                    obs.engine_wal_stage(txn, record)
+                txn.status = TxnStatus.COMMITTED
+                self._active.pop(txn.txid, None)
+                self._release_locks(txn.txid)
+                if self._ssi is not None:
+                    self._ssi.on_resolve(txn, self._active.values())
+                callbacks = txn.drain_callbacks()
+        try:
+            # Durability point of the decision.  Presumed abort makes this
+            # record tiny — no redo, just (gtid, commit_ts).
+            if obs is not None and txn is not None:
+                flush_started = obs.now()
+                batch = self._group_commit.sync(self.wal, record)
+                obs.engine_wal_flush(txn, batch, obs.now() - flush_started)
+                obs.engine_commit(txn, obs.now() - commit_started)
+            else:
+                self._group_commit.sync(self.wal, record)
+        finally:
+            if txn is not None:
+                self._fire(callbacks, txn)
+        return commit_ts
+
+    def abort_prepared(self, gtid: str) -> None:
+        """Phase two, abort decision (or presumed-abort re-delivery).
+
+        Rolls back a live prepared transaction, or discards an in-doubt
+        stash entry after recovery.  *No WAL record is written* — under
+        presumed abort, a prepare with no decision on the log already
+        reads as aborted, so the abort decision needs no durable trace.
+        Idempotent for already-aborted gtids.
+        """
+        callbacks: list[Callable[[Transaction], None]] = []
+        txn: Optional[Transaction] = None
+        with self._commit_mutex:
+            self._ensure_not_crashed()
+            decided = self._resolved_gtids.get(gtid)
+            if decided is not None:
+                if decided[0] == "aborted":
+                    return
+                raise TransactionStateError(
+                    f"global transaction {gtid!r} was already committed"
+                )
+            txn = self._prepared.pop(gtid, None)
+            if txn is None:
+                if self._in_doubt.pop(gtid, None) is None:
+                    raise TransactionStateError(
+                        f"no prepared transaction for gtid {gtid!r}"
+                    )
+            else:
+                self._abort_locked(txn, reason="2pc-abort")
+                callbacks = txn.drain_callbacks()
+            self._resolved_gtids[gtid] = ("aborted", 0)
+        if txn is not None:
+            self._fire(callbacks, txn)
+
+    @property
+    def recovered_in_doubt(self) -> tuple[str, ...]:
+        """Gtids of prepare records recovered with no decision, sorted.
+
+        The coordinator's recovery pass resolves these by re-delivering
+        its logged decision (:meth:`commit_prepared`) or relying on
+        presumed abort (:meth:`abort_prepared` / doing nothing).
+        """
+        with self._commit_mutex:
+            return tuple(sorted(self._in_doubt))
+
+    @property
+    def prepared_gtids(self) -> tuple[str, ...]:
+        """Gtids of live prepared transactions, sorted (for stats/tests)."""
+        with self._commit_mutex:
+            return tuple(sorted(self._prepared))
 
     def _release_locks(self, txid: int) -> None:
         """Release all row locks per-stripe (commit mutex held).

@@ -39,27 +39,65 @@ def replay_records(db: "Database", records: Sequence[WalRecord]) -> "Database":
     """Apply ``records`` (a WAL prefix) to a freshly bootstrapped ``db``.
 
     ``db`` must contain only bootstrap data.  Records are validated to be a
-    well-formed prefix: strictly increasing commit timestamps and a redo
-    payload for every record that wrote rows.
+    well-formed prefix: strictly increasing commit timestamps (for records
+    that carry one — 2PC ``prepare`` records do not) and a redo payload for
+    every record that wrote rows.
+
+    Two-phase-commit records (DESIGN.md §12, presumed abort): a
+    ``prepare`` record is *stashed* by gtid, not applied — nothing of it
+    is visible until a decision.  A matching ``commit-2pc`` record pops
+    the stash and applies the stashed redo at the decision's timestamp.
+    A prepare with no decision in the prefix stays stashed in
+    ``db._in_doubt``: it is in-doubt until the coordinator re-delivers a
+    decision (``Database.commit_prepared``) or presumed abort lets it
+    rot — either way it left no visible trace, which is exactly the
+    promise the participant's YES vote made.
     """
     last_ts = 0
+    in_doubt: dict[str, WalRecord] = {}
     for record in records:
+        if record.kind == "prepare":
+            if record.gtid in in_doubt:
+                raise RecoveryError(
+                    f"duplicate prepare record for gtid {record.gtid!r}"
+                )
+            if not record.has_redo:
+                raise RecoveryError(
+                    f"prepare record for gtid {record.gtid!r} carries no "
+                    "redo payload; cannot replay"
+                )
+            in_doubt[record.gtid] = record
+            db.wal.append(record)
+            db.wal.flush()
+            continue
         if record.commit_ts <= last_ts:
             raise RecoveryError(
                 f"WAL prefix is not ordered: commit_ts {record.commit_ts} "
                 f"after {last_ts}"
             )
         last_ts = record.commit_ts
-        if not record.has_redo:
-            raise RecoveryError(
-                f"WAL record for txn {record.txid} (commit_ts "
-                f"{record.commit_ts}) carries no redo payload; cannot replay"
-            )
-        for (table_name, key), value in record.redo:
+        if record.kind == "commit-2pc":
+            prepared = in_doubt.pop(record.gtid, None)
+            if prepared is None:
+                raise RecoveryError(
+                    f"commit-2pc record for gtid {record.gtid!r} has no "
+                    "matching prepare in the durable prefix"
+                )
+            redo = prepared.redo
+            txid = prepared.txid
+        else:
+            if not record.has_redo:
+                raise RecoveryError(
+                    f"WAL record for txn {record.txid} (commit_ts "
+                    f"{record.commit_ts}) carries no redo payload; cannot replay"
+                )
+            redo = record.redo
+            txid = record.txid
+        for (table_name, key), value in redo:
             table = db.catalog.table(table_name)
             version = Version(
                 commit_ts=record.commit_ts,
-                txid=record.txid,
+                txid=txid,
                 value=freeze_row(value),
             )
             chain = table.chain_or_create(key)
@@ -70,6 +108,9 @@ def replay_records(db: "Database", records: Sequence[WalRecord]) -> "Database":
         db.wal.append(record)
         db.wal.flush()
     db.clock.advance_to(last_ts)
+    # Survivors are in-doubt: resolvable by coordinator decision
+    # re-delivery, dead by presumed abort otherwise.
+    db._in_doubt.update(in_doubt)
     return db
 
 

@@ -31,6 +31,12 @@ OWN_WRITE = -1
 
 class TxnStatus(enum.Enum):
     ACTIVE = "active"
+    #: Voted YES in a two-phase commit: the write set is durably logged and
+    #: all locks stay held, but nothing is published — the transaction can
+    #: only leave this state via the coordinator's decision
+    #: (:meth:`~repro.engine.engine.Database.commit_prepared` /
+    #: :meth:`~repro.engine.engine.Database.abort_prepared`).
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -66,6 +72,9 @@ class Transaction:
         #: Optional program name (e.g. "WriteCheck"), used in statistics and
         #: in the dynamic-analysis reports.
         self.label = label
+        #: Global transaction id, set when this transaction becomes a 2PC
+        #: participant (``Database.prepare_commit``); ``None`` otherwise.
+        self.gtid: Optional[str] = None
 
         # Footprints -----------------------------------------------------
         self.reads: dict[RowId, int] = {}
@@ -139,6 +148,10 @@ class Transaction:
     def is_committed(self) -> bool:
         return self.status is TxnStatus.COMMITTED
 
+    @property
+    def is_prepared(self) -> bool:
+        return self.status is TxnStatus.PREPARED
+
     def ensure_active(self) -> None:
         if self.status is not TxnStatus.ACTIVE:
             raise TransactionStateError(
@@ -173,9 +186,14 @@ class Transaction:
         in the list the resolver drains, or it observes the resolved status
         and fires here — it can never be appended to an already-drained
         list and silently lost.
+
+        A PREPARED transaction is *unresolved*: it still holds its row
+        locks, so waiters must keep queueing (firing immediately would spin
+        them against the held lock) until the coordinator's decision
+        commits or aborts it.
         """
         with self._callback_lock:
-            if self.status is TxnStatus.ACTIVE:
+            if self.status in (TxnStatus.ACTIVE, TxnStatus.PREPARED):
                 self._resolution_callbacks.append(callback)
                 return
         callback(self)

@@ -43,12 +43,28 @@ RedoEntry = tuple[RowId, Optional[Mapping[str, object]]]
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One commit record.
+    """One log record.
 
     ``rows`` names the rows written (in write order); ``redo`` carries the
     matching after-images.  ``redo`` may be empty for hand-built records in
     tests that only exercise the logical stream — the recovery layer
     requires it and checks.
+
+    ``kind`` distinguishes the three record types of the presumed-abort
+    two-phase-commit protocol (DESIGN.md §12):
+
+    * ``"commit"`` — an ordinary single-site commit (the default; carries
+      its redo payload and a real ``commit_ts``);
+    * ``"prepare"`` — a participant's YES vote: carries the *full redo
+      payload* under its global transaction id (``gtid``) but no commit
+      timestamp yet (``commit_ts == 0``); nothing is visible until a
+      decision record follows;
+    * ``"commit-2pc"`` — the coordinator's commit decision for ``gtid``:
+      carries only the decision timestamp (presumed abort keeps decisions
+      small); recovery applies the redo stashed by the matching prepare.
+
+    There is deliberately *no* abort record: under presumed abort, a
+    prepare with no decision in the durable log **is** the abort.
     """
 
     commit_ts: int
@@ -56,12 +72,18 @@ class WalRecord:
     label: str
     rows: tuple[RowId, ...]
     redo: tuple[RedoEntry, ...] = field(default=())
+    kind: str = "commit"
+    gtid: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.redo and tuple(row for row, _ in self.redo) != self.rows:
             raise ValueError(
                 "redo payload rows must match the record's row list"
             )
+        if self.kind not in ("commit", "prepare", "commit-2pc"):
+            raise ValueError(f"unknown WAL record kind {self.kind!r}")
+        if self.kind != "commit" and self.gtid is None:
+            raise ValueError(f"{self.kind} records require a gtid")
 
     @property
     def has_redo(self) -> bool:
@@ -82,9 +104,28 @@ class WriteAheadLog:
         self._flushed = 0
 
     def append(self, record: WalRecord) -> None:
-        if self._records and record.commit_ts <= self._records[-1].commit_ts:
-            raise ValueError("WAL records must have increasing commit timestamps")
+        # Prepare records carry no commit timestamp (their position in the
+        # log is irrelevant — recovery matches them to decisions by gtid),
+        # so only decision-bearing records participate in the monotonicity
+        # invariant, and they compare against the last decision-bearing
+        # record, skipping any interleaved prepares.
+        if record.kind != "prepare":
+            if record.commit_ts <= self._last_decision_ts():
+                raise ValueError(
+                    "WAL records must have increasing commit timestamps"
+                )
         self._records.append(record)
+
+    def _last_decision_ts(self) -> int:
+        """Commit timestamp of the newest non-prepare record (0 if none).
+
+        Scans back over trailing prepare records only — in practice zero
+        or a handful, since prepares are short-lived.
+        """
+        for record in reversed(self._records):
+            if record.kind != "prepare":
+                return record.commit_ts
+        return 0
 
     def flush(self) -> int:
         """Make every staged record durable; returns the flush boundary."""
@@ -154,9 +195,32 @@ class GroupCommitBuffer:
         """Enqueue a record for the next flush.
 
         Must be called under the engine's commit mutex so records enter
-        the queue in commit-timestamp order.
+        the queue in commit-timestamp order.  Only decision-bearing
+        records (``kind`` ``"commit"`` / ``"commit-2pc"``) may be staged:
+        the leader-election dedup in :meth:`sync` is keyed by
+        ``commit_ts``, which a prepare record does not have — prepares go
+        through :meth:`append_durable` instead.
         """
+        if record.kind == "prepare":
+            raise ValueError(
+                "prepare records bypass group commit; use append_durable"
+            )
         self._pending.append(record)
+
+    def append_durable(self, wal: WriteAheadLog, record: WalRecord) -> None:
+        """Append + flush one record immediately (2PC prepare path).
+
+        A participant's YES vote must be durable *before* it is returned
+        to the coordinator, and a prepare record has no commit timestamp
+        to batch under, so it takes the flush mutex and goes straight to
+        the log.  Holding the mutex also serializes the append against a
+        concurrent leader's drain loop; the flush makes any records the
+        leader already appended durable a moment early, which is safe
+        (durability is monotone).
+        """
+        with self._flush_mutex:
+            wal.append(record)
+            wal.flush()
 
     def sync(self, wal: WriteAheadLog, record: WalRecord) -> int:
         """Block until ``record`` is durable, flushing a batch if needed.

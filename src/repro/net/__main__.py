@@ -46,6 +46,18 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--isolation", default="si", choices=sorted(ISOLATION_CONFIGS)
     )
+    parser.add_argument(
+        "--shard-index", type=int, default=0,
+        help="serve one shard of a hash-partitioned population",
+    )
+    parser.add_argument(
+        "--shard-count", type=int, default=1,
+        help="total shards the population is partitioned across",
+    )
+    parser.add_argument(
+        "--autovacuum", type=float, default=None, metavar="SECONDS",
+        help="run the version-chain vacuum periodically",
+    )
     parser.add_argument("--max-connections", type=int, default=64)
     parser.add_argument(
         "--reject", action="store_true",
@@ -57,10 +69,20 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    db = build_database(
-        ISOLATION_CONFIGS[args.isolation](),
-        PopulationConfig(customers=args.customers),
-    )
+    if args.shard_count > 1:
+        from repro.cluster.partition import build_shard_database
+
+        db = build_shard_database(
+            ISOLATION_CONFIGS[args.isolation](),
+            PopulationConfig(customers=args.customers),
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
+        )
+    else:
+        db = build_database(
+            ISOLATION_CONFIGS[args.isolation](),
+            PopulationConfig(customers=args.customers),
+        )
     server = DatabaseServer(
         db,
         host=args.host,
@@ -68,6 +90,7 @@ def main(argv: "list[str] | None" = None) -> int:
         max_connections=args.max_connections,
         backpressure=not args.reject,
         obs=Observability() if args.obs else None,
+        autovacuum_interval=args.autovacuum,
     ).start_in_thread()
     print(f"LISTENING {server.port}", flush=True)
     try:

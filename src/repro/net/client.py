@@ -181,6 +181,42 @@ class WireConnection:
         raise_error_payload(response.get("error"))
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def drain_owed(self) -> None:
+        """Send queued frames and consume every owed deferred ack.
+
+        Leaves the wire perfectly quiescent: no unsent requests, no
+        unread responses.  Used to settle deferred read-only COMMITs
+        whose server-side transaction would otherwise stay open until
+        the wire's next use (e.g. before reading an execution trace).
+        """
+        try:
+            with self._lock:
+                if self._sendbuf:
+                    self._flush_locked()
+                while self._owed:
+                    while not self._inbox:
+                        try:
+                            chunk = self.sock.recv(65536)
+                        except OSError as exc:
+                            raise ConnectionClosed(
+                                f"socket error while receiving: {exc}"
+                            ) from None
+                        if not chunk:
+                            raise ConnectionClosed(
+                                "server closed the connection"
+                            )
+                        self._inbox.extend(self._decoder.feed(chunk))
+                    frame = self._inbox.pop(0)
+                    self._owed -= 1
+                    if not frame.get("ok"):
+                        raise ProtocolError(
+                            "deferred-ack request failed on the server: "
+                            f"{frame.get('error')!r}"
+                        )
+        except (ConnectionClosed, ProtocolError):
+            self.broken = True
+            raise
+
     def close(self) -> None:
         self.broken = True
         try:
@@ -578,9 +614,63 @@ class NetworkSession:
         self._txn = _RemoteTransaction(None, None, label, self)
         return self._txn
 
+    def begin_now(self, label: str = "") -> _RemoteTransaction:
+        """Open a transaction and send the BEGIN immediately.
+
+        Used by the cluster router's *consistent* snapshot mode: every
+        shard's branch must take its snapshot inside the oracle's
+        broadcast window, so the BEGIN cannot ride on a later (arbitrarily
+        delayed) first statement the way :meth:`begin` defers it.
+        """
+        txn = self.begin(label)
+        self._pending_begin = None
+        response = self._call("BEGIN", label=label)
+        txn.txid = int(response["txid"])
+        txn.snapshot_ts = int(response["snapshot_ts"])
+        return txn
+
     @property
     def in_transaction(self) -> bool:
         return self._in_txn
+
+    @property
+    def is_readonly(self) -> bool:
+        """True while the current transaction took no lock, staged no write.
+
+        The cluster coordinator uses this to split participants: read-only
+        branches commit plainly (nothing to vote on), only writers pay the
+        prepare round.
+        """
+        return self._readonly
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (cluster coordinator drives these)
+    # ------------------------------------------------------------------
+    def prepare_2pc(self, gtid: str) -> None:
+        """Vote on this session's transaction under ``gtid`` (phase one).
+
+        Drains the statement pipeline *first*: a buffered statement's
+        failure must surface (and be handled by the coordinator as a NO
+        vote) before the vote request is ever sent — otherwise a
+        non-aborting statement error could leave a prepared orphan no one
+        would ever decide.  On a YES the server detaches the transaction
+        from this wire; on a NO (a ``TransactionAborted`` subclass) the
+        engine has already rolled it back.
+        """
+        self._sync()
+        self._call("PREPARE_2PC", gtid=gtid)
+        # Prepared: the branch is no longer this session's to commit or
+        # roll back — only coordinator decisions (by gtid) resolve it.
+        self._in_txn = False
+
+    def commit_2pc(self, gtid: str) -> int:
+        """Deliver the commit decision for ``gtid``; returns the shard's
+        commit timestamp.  Connection-independent and idempotent."""
+        return int(self._call("COMMIT_2PC", gtid=gtid)["commit_ts"])
+
+    def abort_2pc(self, gtid: str) -> None:
+        """Deliver the abort decision for ``gtid`` (presumed abort)."""
+        self._call("ABORT_2PC", gtid=gtid)
 
     def commit(self) -> None:
         """Commit; three wire-level shortcuts cover the common shapes.
@@ -971,10 +1061,10 @@ class NetworkConnection(Connection):
         wire.close()
         self._slots.release()
 
-    def _call_once(self, op: str) -> dict:
+    def _call_once(self, op: str, **args: object) -> dict:
         wire = self._acquire()
         try:
-            response = wire.call(op, {})
+            response = wire.call(op, args)
         except BaseException:
             self._discard(wire)
             raise
@@ -995,6 +1085,39 @@ class NetworkConnection(Connection):
         stats = dict(self._call_once("STATS")["stats"])
         stats["backend"] = "network"
         return stats
+
+    def vacuum(self) -> int:
+        """Prune server-side version chains; returns versions dropped."""
+        return int(self._call_once("VACUUM")["pruned"])
+
+    def flush(self) -> None:
+        """Settle deferred read-only COMMITs queued on idle pooled wires.
+
+        Their server-side transactions commit only when the wire next
+        talks to the server; callers about to inspect server state (an
+        execution trace, STATS-based accounting) flush first so every
+        client-side "committed" transaction is server-side committed
+        too.  Wires that fail while settling are discarded from the
+        pool, like any broken wire.
+        """
+        with self._lock:
+            wires = list(self._idle)
+        for wire in wires:
+            try:
+                wire.drain_owed()
+            except (ConnectionClosed, ProtocolError):
+                with self._lock:
+                    if wire in self._idle:
+                        self._idle.remove(wire)
+                wire.close()
+
+    def commit_2pc(self, gtid: str) -> int:
+        """Decision delivery outside any session (coordinator recovery)."""
+        return int(self._call_once("COMMIT_2PC", gtid=gtid)["commit_ts"])
+
+    def abort_2pc(self, gtid: str) -> None:
+        """Abort-decision delivery outside any session."""
+        self._call_once("ABORT_2PC", gtid=gtid)
 
     def close(self) -> None:
         with self._lock:

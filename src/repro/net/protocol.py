@@ -70,6 +70,10 @@ REQUEST_OPS = (
     "ROLLBACK",
     "PREPARE",
     "EXEC",
+    "VACUUM",
+    "PREPARE_2PC",
+    "COMMIT_2PC",
+    "ABORT_2PC",
 )
 
 
@@ -111,7 +115,15 @@ def decode_payload(payload: bytes) -> dict:
 
 
 def check_length(length: int, max_frame: int = DEFAULT_MAX_FRAME) -> int:
-    """Validate a decoded length prefix."""
+    """Validate a decoded length prefix.
+
+    The wire unpacks the prefix unsigned, so a peer's 2 GiB (or sign-bit)
+    header arrives here as a huge positive length and is rejected *before*
+    any buffer is sized to it.  The explicit negative check covers direct
+    callers that pass an already-signed value.
+    """
+    if length < 0:
+        raise ProtocolError(f"negative frame length {length}")
     if length == 0:
         raise ProtocolError("zero-length frame")
     if length > max_frame:

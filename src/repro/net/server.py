@@ -62,6 +62,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     TransactionAborted,
+    TransactionStateError,
 )
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
@@ -197,9 +198,12 @@ class DatabaseServer:
         backpressure: bool = True,
         obs: "Observability | None" = None,
         max_frame: int = DEFAULT_MAX_FRAME,
+        autovacuum_interval: Optional[float] = None,
     ) -> None:
         if max_connections < 1:
             raise ValueError("max_connections must be at least 1")
+        if autovacuum_interval is not None and autovacuum_interval <= 0:
+            raise ValueError("autovacuum_interval must be positive")
         self.db = db
         self.host = host
         self.port = port  # 0 = ephemeral; rewritten once listening
@@ -207,6 +211,11 @@ class DatabaseServer:
         self.backpressure = backpressure
         self.obs = obs
         self.max_frame = max_frame
+        #: Seconds between automatic :meth:`Database.vacuum` runs (None
+        #: disables).  Long cluster runs use this to bound version-chain
+        #: growth without any client issuing VACUUM.
+        self.autovacuum_interval = autovacuum_interval
+        self._autovacuum_task: "asyncio.Task | None" = None
         if obs is not None:
             db.install_observability(obs)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -236,6 +245,8 @@ class DatabaseServer:
             "rpcs_total": 0,
             "sessions_opened": 0,
             "sessions_closed": 0,
+            "vacuum_runs": 0,
+            "vacuum_pruned_total": 0,
         }
 
     # ------------------------------------------------------------------
@@ -253,11 +264,45 @@ class DatabaseServer:
             lambda: _ServerProtocol(self), self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.autovacuum_interval is not None:
+            self._autovacuum_task = self._loop.create_task(
+                self._autovacuum_loop()
+            )
         return self
+
+    async def _autovacuum_loop(self) -> None:
+        """Periodic vacuum: same engine entry point as the VACUUM op.
+
+        Runs on the connection-agnostic default executor so the (commit-
+        mutex-holding) prune never stalls the event loop.  A crashed
+        database ends the loop; any other engine error is counted and the
+        loop keeps its cadence.
+        """
+        assert self.autovacuum_interval is not None
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            await asyncio.sleep(self.autovacuum_interval)
+            if self._closing:
+                return
+            try:
+                pruned = await loop.run_in_executor(None, self.db.vacuum)
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except ReproError:
+                return  # crashed / shut down underneath us
+            self._counters["vacuum_runs"] += 1
+            self._counters["vacuum_pruned_total"] += pruned
 
     async def stop(self) -> None:
         """Graceful shutdown: drain connections, abort in-flight work."""
         self._closing = True
+        if self._autovacuum_task is not None:
+            self._autovacuum_task.cancel()
+            try:
+                await self._autovacuum_task
+            except asyncio.CancelledError:
+                pass
+            self._autovacuum_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -340,6 +385,10 @@ class DatabaseServer:
             "connections_parked": len(self._parked),
             "active_transactions": len(self.db.active_transactions),
             "prepared_statements": len(self._prepared),
+            "prepared_2pc": len(self.db.prepared_gtids),
+            "in_doubt_2pc": len(self.db.recovered_in_doubt),
+            # Listed so a cluster coordinator can re-deliver decisions.
+            "in_doubt_gtids": list(self.db.recovered_in_doubt),
             "max_connections": self.max_connections,
             "backpressure": self.backpressure,
             # Clients gate wire-level shortcuts on the hosted engine's
@@ -589,6 +638,39 @@ class DatabaseServer:
         conn.session.rollback()
         return {}
 
+    def _op_vacuum(self, conn: _ClientConnection, msg: dict) -> dict:
+        pruned = self.db.vacuum()
+        self._counters["vacuum_runs"] += 1
+        self._counters["vacuum_pruned_total"] += pruned
+        return {"pruned": pruned}
+
+    # --- two-phase commit (coordinator -> participant ops) --------------
+    def _op_prepare_2pc(self, conn: _ClientConnection, msg: dict) -> dict:
+        """Phase one: vote on this connection's open transaction.
+
+        On a YES the transaction is *detached* from the session: a
+        prepared transaction belongs to the coordinator's decision, not
+        to the wire it arrived on — the client disconnecting (or the
+        session being reused) must not roll it back.  The decision ops
+        below address it by gtid and work on any connection.
+        """
+        gtid = str(msg["gtid"])
+        session = conn.session
+        txn = session.txn
+        if txn is None or not txn.is_active:
+            raise TransactionStateError("no active transaction to prepare")
+        self.db.prepare_commit(txn, gtid)
+        session.txn = None  # survives disconnect; resolved only by gtid
+        return {"prepared": True, "gtid": gtid}
+
+    def _op_commit_2pc(self, conn: _ClientConnection, msg: dict) -> dict:
+        commit_ts = self.db.commit_prepared(str(msg["gtid"]))
+        return {"commit_ts": commit_ts}
+
+    def _op_abort_2pc(self, conn: _ClientConnection, msg: dict) -> dict:
+        self.db.abort_prepared(str(msg["gtid"]))
+        return {}
+
     def _statement(self, sql: str, kind: Optional[str]) -> tuple[int, PreparedStatement]:
         cache_key = (sql, kind)
         with self._prepared_lock:
@@ -680,4 +762,8 @@ class DatabaseServer:
         "ROLLBACK": _op_rollback,
         "PREPARE": _op_prepare,
         "EXEC": _op_exec,
+        "VACUUM": _op_vacuum,
+        "PREPARE_2PC": _op_prepare_2pc,
+        "COMMIT_2PC": _op_commit_2pc,
+        "ABORT_2PC": _op_abort_2pc,
     }

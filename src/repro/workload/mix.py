@@ -76,6 +76,22 @@ def get_mix(name: str) -> TransactionMix:
         raise KeyError(f"unknown mix {name!r}; known: {known}") from None
 
 
+def customer_ids_in_args(args: Mapping[str, object]) -> tuple[int, ...]:
+    """The customer ids one program invocation's parameters name.
+
+    Inverts :func:`~repro.smallbank.schema.customer_name` on the
+    ``N`` / ``N1`` / ``N2`` parameters, in that order.  The cluster
+    tests use this to check shard affinity: the shards a generated
+    invocation *can* touch are exactly the shards of these ids.
+    """
+    ids = []
+    for key in ("N", "N1", "N2"):
+        value = args.get(key)
+        if isinstance(value, str) and value.startswith("cust"):
+            ids.append(int(value[4:]))
+    return tuple(ids)
+
+
 @dataclass(frozen=True)
 class HotspotConfig:
     """Access-skew parameters."""

@@ -21,6 +21,7 @@ from repro.errors import (
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
     LENGTH_BYTES,
+    REQUEST_OPS,
     FrameDecoder,
     check_length,
     decode_payload,
@@ -90,6 +91,31 @@ class TestFramingViolations:
         with pytest.raises(ProtocolError):
             decoder.feed(struct.pack(">I", 2**31))
 
+    def test_two_gigabyte_header_poisons_a_default_decoder(self):
+        """A malicious 2 GiB length prefix (0x80000000) dies against the
+        stock 8 MiB limit without allocating anything, and the decoder
+        stays poisoned for the rest of the connection."""
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError) as excinfo:
+            decoder.feed(struct.pack(">I", 0x80000000))
+        assert str(DEFAULT_MAX_FRAME) in str(excinfo.value)
+        # Only the 4-byte header was ever buffered — never the payload.
+        assert decoder.pending_bytes <= LENGTH_BYTES
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame({"op": "PING"}))
+
+    def test_max_frame_is_configurable_at_the_boundary(self):
+        """A payload of exactly ``max_frame`` bytes decodes; one byte more
+        is rejected by an otherwise identical decoder."""
+        payload = b'{"op": "%s"}' % (b"x" * 20)
+        limit = len(payload)
+        frame = struct.pack(">I", limit) + payload
+        assert FrameDecoder(max_frame=limit).feed(frame) == [
+            {"op": "x" * 20}
+        ]
+        with pytest.raises(ProtocolError):
+            FrameDecoder(max_frame=limit - 1).feed(frame)
+
     def test_zero_length_frame_rejected(self):
         decoder = FrameDecoder()
         with pytest.raises(ProtocolError):
@@ -129,6 +155,15 @@ class TestFramingViolations:
             decode_payload(b"{truncated")
         with pytest.raises(ProtocolError):
             decode_payload(b'"a bare string"')
+
+
+class TestRequestOps:
+    def test_cluster_and_maintenance_ops_are_registered(self):
+        for op in ("VACUUM", "PREPARE_2PC", "COMMIT_2PC", "ABORT_2PC"):
+            assert op in REQUEST_OPS
+
+    def test_ops_are_unique(self):
+        assert len(REQUEST_OPS) == len(set(REQUEST_OPS))
 
 
 class TestErrorRoundTrip:
