@@ -17,22 +17,33 @@ materialization strategies restore acyclicity of the *merged* graph.
 prints its ``cluster://`` URL.
 """
 
-from repro.cluster.coordinator import TwoPhaseCoordinator
+from repro.cluster.chaos import ChaosConfig, ChaosResult, run_chaos
+from repro.cluster.coordinator import DecisionLog, TwoPhaseCoordinator
 from repro.cluster.oracle import TimestampOracle
 from repro.cluster.partition import (
     PARTITION_COLUMNS,
     HashPartitioner,
     build_shard_database,
 )
-from repro.cluster.router import Cluster, ClusterConnection, ClusterSession
+from repro.cluster.router import (
+    Cluster,
+    ClusterConnection,
+    ClusterSession,
+    ShardHealth,
+)
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosResult",
     "Cluster",
     "ClusterConnection",
     "ClusterSession",
+    "DecisionLog",
     "HashPartitioner",
     "PARTITION_COLUMNS",
+    "ShardHealth",
     "TimestampOracle",
     "TwoPhaseCoordinator",
     "build_shard_database",
+    "run_chaos",
 ]

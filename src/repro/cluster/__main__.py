@@ -22,6 +22,13 @@ Quickstart::
 SmallBank programs at MPL 4) against the cluster, certifies the merged
 global trace, and exits non-zero if it is not serializable under the
 requested strategy — the CI cluster smoke job.
+
+``--chaos-smoke`` runs the seeded distributed chaos soak
+(:mod:`repro.cluster.chaos`): network faults, a shard kill/restart and
+coordinator crashes over ≥ 2 shards at MPL 8, then recovery to a fixed
+point.  Exits non-zero unless the merged MVSG is acyclic, the ledger is
+exactly conserved, and zero transactions remain in doubt.  Writes the
+result record to ``BENCH_chaos_cluster.json`` (``--out`` overrides).
 """
 
 from __future__ import annotations
@@ -84,6 +91,37 @@ def _smoke(
     return 0 if report.serializable else 1
 
 
+def _chaos_smoke(args) -> int:
+    """Seeded chaos soak + certification; the CI chaos-cluster gate."""
+    from repro.cluster.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        shards=max(2, args.shards),
+        customers=args.customers,
+        mpl=max(8, args.mpl),
+        duration=3.0 if args.duration is None else args.duration,
+        seed=args.seed,
+        isolation=args.isolation,
+        strategy=args.strategy,
+    )
+    result = run_chaos(config)
+    record = result.to_record()
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"CHAOS {result.report_description}", flush=True)
+    print("STATS " + json.dumps(record, sort_keys=True), flush=True)
+    if not result.ok:
+        print(
+            "FAIL "
+            + json.dumps(record["checks"], sort_keys=True),
+            file=sys.stderr,
+            flush=True,
+        )
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cluster", description=__doc__.splitlines()[0]
@@ -101,16 +139,31 @@ def main(argv: "list[str] | None" = None) -> int:
         "--smoke", action="store_true",
         help="run a short five-program workload, certify, and exit",
     )
+    parser.add_argument(
+        "--chaos-smoke", action="store_true",
+        help="seeded fault soak (shard + coordinator crashes), certify, exit",
+    )
     parser.add_argument("--mpl", type=int, default=4)
     parser.add_argument(
-        "--duration", type=float, default=1.0,
-        help="smoke workload duration in seconds",
+        "--duration", type=float, default=None,
+        help="workload duration in seconds (default 1.0, chaos 3.0)",
     )
     parser.add_argument(
         "--strategy", default="promote-all",
         help="SmallBank strategy key for --smoke (e.g. base-si, promote-all)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=11,
+        help="fault-schedule / population seed for --chaos-smoke",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_chaos_cluster.json", metavar="PATH",
+        help="result-record file for --chaos-smoke ('' disables)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos_smoke:
+        return _chaos_smoke(args)
 
     cluster = Cluster(
         args.shards,
@@ -124,7 +177,11 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"CLUSTER {cluster.url}", flush=True)
         if args.smoke:
             return _smoke(
-                cluster, args.mpl, args.duration, args.strategy, args.customers
+                cluster,
+                args.mpl,
+                1.0 if args.duration is None else args.duration,
+                args.strategy,
+                args.customers,
             )
         try:
             sys.stdin.read()  # block until the parent closes our stdin

@@ -1,0 +1,399 @@
+"""Seeded distributed chaos harness (DESIGN.md §13).
+
+Runs a money-conserving SmallBank mix (Balance + Amalgamate, so the
+cluster-wide balance sum is invariant under *any* interleaving of commits
+and aborts — atomicity, not luck, is what the ledger check certifies) at
+MPL :attr:`ChaosConfig.mpl` over a live :class:`~repro.cluster.Cluster`
+while a fault plan injects network faults (dropped / delayed / duplicated
+frames, connection resets), kills and restarts shards mid-flight, and
+crashes the 2PC coordinator inside its in-doubt window.
+
+After the storm the harness drives recovery to a fixed point — every
+crashed shard restarted, every in-doubt or orphaned-prepared gtid
+settled through the coordinator's decision log — and then certifies:
+
+* **zero in-doubt transactions** remain anywhere;
+* the **merged MVSG is acyclic** (cluster-serializable) over the
+  durable per-shard histories, salvaged across crashes by
+  :meth:`~repro.cluster.router.Cluster.crash_shard`;
+* the **ledger is exactly conserved**: final balance sum equals the
+  initial one.
+
+One known observability gap, by design: an in-doubt gtid whose commit is
+re-delivered *after* a shard restart replays from the durable prepare's
+redo with no live transaction object, so no recorder observes it.  Its
+effects are durable and its absence from the merged graph cannot
+manufacture a cycle (a missing node only removes edges); the run's
+``in_doubt_commits`` counter bounds how many such gaps exist.
+
+Entry points: :func:`run_chaos` (used by ``python -m repro.cluster
+--chaos-smoke`` and ``benchmarks/bench_chaos_cluster.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.cluster.router import Cluster, ClusterConnection
+from repro.errors import (
+    ConnectionClosed,
+    CoordinatorCrashed,
+    DatabaseCrashed,
+    ReproError,
+    ShardUnavailable,
+    TransactionAborted,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.smallbank import programs as names
+from repro.smallbank.schema import customer_name
+from repro.smallbank.strategies import get_strategy
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos soak: cluster shape, workload, and fault schedule."""
+
+    shards: int = 2
+    customers: int = 40
+    mpl: int = 8
+    duration: float = 4.0
+    seed: int = 11
+    isolation: str = "si"
+    strategy: str = "promote-all"
+    #: Fraction of transactions that are read-mostly Balance checks; the
+    #: rest are cross-shard-capable Amalgamates (the 2PC drivers).
+    balance_fraction: float = 0.4
+    # --- network faults (per outbound response frame) -----------------
+    drop_rate: float = 0.01
+    delay_rate: float = 0.01
+    delay_magnitude: float = 0.01
+    reset_rate: float = 0.005
+    #: Probability a delivered commit decision is delivered twice.
+    dup_rate: float = 0.1
+    #: Response frames to let through before network chaos starts.
+    net_warmup_frames: int = 200
+    # --- process faults -----------------------------------------------
+    shard_crashes: int = 1
+    shard_downtime: float = 0.3
+    #: Controller polls before the first shard crash (poll = 50 ms).
+    crash_after_polls: int = 16
+    coordinator_crashes: int = 2
+    coordinator_crash_rate: float = 0.25
+    # --- client hardening ---------------------------------------------
+    rpc_deadline: float = 0.5
+    heartbeat_interval: float = 0.05
+    resolver_interval: float = 0.05
+    unhealthy_after: int = 2
+    #: Recovery fixed-point deadline (seconds) after the storm.
+    recovery_deadline: float = 10.0
+
+
+@dataclass
+class ChaosResult:
+    """Everything a bench record or CI gate needs from one soak."""
+
+    config: ChaosConfig
+    serializable: bool
+    ledger_conserved: bool
+    initial_money: float
+    final_money: float
+    in_doubt_after_recovery: int
+    report_description: str
+    counters: "dict[str, int]" = field(default_factory=dict)
+    router_counters: "dict[str, int]" = field(default_factory=dict)
+    fault_injections: "dict[str, int]" = field(default_factory=dict)
+    fault_opportunities: "dict[str, int]" = field(default_factory=dict)
+    shard_restarts: int = 0
+    global_transactions: int = 0
+    cross_shard_transactions: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: serializable, conserved, nothing left in doubt."""
+        return (
+            self.serializable
+            and self.ledger_conserved
+            and self.in_doubt_after_recovery == 0
+        )
+
+    def to_record(self) -> dict:
+        return {
+            "benchmark": "chaos_cluster",
+            "config": asdict(self.config),
+            "ok": self.ok,
+            "checks": {
+                "serializable": self.serializable,
+                "ledger_conserved": self.ledger_conserved,
+                "in_doubt_after_recovery": self.in_doubt_after_recovery,
+            },
+            "initial_money": self.initial_money,
+            "final_money": self.final_money,
+            "counters": dict(self.counters),
+            "router": dict(self.router_counters),
+            "faults": {
+                "injections": dict(self.fault_injections),
+                "opportunities": dict(self.fault_opportunities),
+            },
+            "shard_restarts": self.shard_restarts,
+            "global_transactions": self.global_transactions,
+            "cross_shard_transactions": self.cross_shard_transactions,
+            "report": self.report_description,
+            "elapsed": round(self.elapsed, 3),
+        }
+
+
+def build_fault_plan(config: ChaosConfig) -> FaultPlan:
+    """The seeded fault schedule for one soak."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                "net-drop-frame",
+                probability=config.drop_rate,
+                start_after=config.net_warmup_frames,
+            ),
+            FaultSpec(
+                "net-delay-frame",
+                probability=config.delay_rate,
+                magnitude=config.delay_magnitude,
+                start_after=config.net_warmup_frames,
+            ),
+            FaultSpec(
+                "conn-reset",
+                probability=config.reset_rate,
+                start_after=2 * config.net_warmup_frames,
+            ),
+            FaultSpec("net-dup-decision", probability=config.dup_rate),
+            FaultSpec(
+                "coordinator-crash-window",
+                probability=config.coordinator_crash_rate,
+                max_fires=config.coordinator_crashes,
+                start_after=2,
+            ),
+            FaultSpec(
+                "shard-crash",
+                probability=1.0,
+                start_after=config.crash_after_polls,
+                max_fires=config.shard_crashes,
+                magnitude=config.shard_downtime,
+            ),
+        ],
+        seed=config.seed,
+    )
+
+
+def _quiet(callable_) -> None:
+    try:
+        callable_()
+    except ReproError:
+        pass
+
+
+def _worker_loop(
+    index: int,
+    connection: ClusterConnection,
+    config: ChaosConfig,
+    stop: threading.Event,
+    counters: "dict[str, int]",
+    lock: threading.Lock,
+    txns,
+) -> None:
+    """One MPL slot: run random conserving programs until told to stop.
+
+    Every error class has a recovery action — retry, re-session, back
+    off — so the worker survives anything the fault plan throws and the
+    soak measures the *system's* self-healing, not the client's luck.
+    """
+    rng = random.Random(f"chaos-worker/{config.seed}/{index}")
+
+    def bump(key: str) -> None:
+        with lock:
+            counters[key] += 1
+
+    session = connection.session()
+    while not stop.is_set():
+        # Customer ids are 1-based (the SmallBank population loads
+        # customers 1..N).
+        if rng.random() < config.balance_fraction:
+            program = names.BALANCE
+            args: dict = {"N": customer_name(rng.randint(1, config.customers))}
+        else:
+            first = rng.randint(1, config.customers)
+            second = rng.randint(1, config.customers - 1)
+            if second >= first:
+                second += 1
+            program = names.AMALGAMATE
+            args = {"N1": customer_name(first), "N2": customer_name(second)}
+        try:
+            txns.run(session, program, args)
+            bump("commits")
+        except TransactionAborted:
+            bump("aborts")  # ordinary serialization/SSI abort: just retry
+            _quiet(session.rollback)
+        except CoordinatorCrashed:
+            # Outcome unknown; the resolver settles the gtid from the
+            # decision log.  Nothing for the worker to do but move on.
+            bump("coordinator_crashes_seen")
+            _quiet(session.rollback)
+        except ShardUnavailable:
+            bump("fail_fast")  # health said "down" without dialing
+            _quiet(session.rollback)
+            stop.wait(0.01)
+        except DatabaseCrashed:
+            bump("crashed_ops")  # shard died mid-operation
+            _quiet(session.rollback)
+            stop.wait(0.02)
+        except ConnectionClosed:
+            bump("disconnects")  # dropped frame deadline, reset, EOF
+            _quiet(session.rollback)
+            stop.wait(0.02)
+        except ReproError:
+            bump("other_errors")
+            _quiet(session.rollback)
+    _quiet(session.close)
+
+
+def _chaos_controller(
+    cluster: Cluster,
+    plan: FaultPlan,
+    stop: threading.Event,
+    counters: "dict[str, int]",
+    lock: threading.Lock,
+    poll: float = 0.05,
+) -> None:
+    """Crash/restart shards on the plan's schedule (round-robin victims).
+
+    The restart always happens — even when the stop flag is raised
+    during the downtime window — so the controller never exits leaving a
+    shard dark.
+    """
+    victim = 0
+    while not stop.wait(poll):
+        if not plan.should_fire("shard-crash"):
+            continue
+        shard = victim % cluster.shard_count
+        victim += 1
+        cluster.crash_shard(shard)
+        with lock:
+            counters["shard_crashes"] += 1
+        stop.wait(plan.magnitude("shard-crash") or 0.2)
+        cluster.restart_shard(shard)
+        with lock:
+            counters["shard_restarts"] += 1
+
+
+def _pending_2pc_gtids(cluster: Cluster) -> "set[str]":
+    """Every gtid still prepared or in doubt anywhere in the cluster."""
+    pending: "set[str]" = set()
+    for db in cluster.databases:
+        pending.update(db.recovered_in_doubt)
+        pending.update(db.prepared_gtids)
+    return pending
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
+    """One full soak: storm, recover to a fixed point, certify."""
+    from repro.analysis import merge_shard_histories
+
+    plan = build_fault_plan(config)
+    txns = get_strategy(config.strategy).transactions()
+    counters = {
+        "commits": 0,
+        "aborts": 0,
+        "coordinator_crashes_seen": 0,
+        "fail_fast": 0,
+        "crashed_ops": 0,
+        "disconnects": 0,
+        "other_errors": 0,
+        "shard_crashes": 0,
+        "shard_restarts": 0,
+    }
+    lock = threading.Lock()
+    started = time.monotonic()
+    with Cluster(
+        config.shards,
+        customers=config.customers,
+        isolation=config.isolation,
+        seed=config.seed,
+    ) as cluster:
+        initial_money = cluster.total_money()
+        cluster.install_faults(plan)
+        connection = cluster.connect(
+            fault_plan=plan,
+            obs=obs,
+            pool_size=config.mpl,
+            rpc_deadline=config.rpc_deadline,
+            unhealthy_after=config.unhealthy_after,
+        )
+        try:
+            connection.start_heartbeats(config.heartbeat_interval)
+            connection.start_in_doubt_resolver(config.resolver_interval)
+            stop = threading.Event()
+            workers = [
+                threading.Thread(
+                    target=_worker_loop,
+                    args=(i, connection, config, stop, counters, lock, txns),
+                    name=f"chaos-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(config.mpl)
+            ]
+            controller = threading.Thread(
+                target=_chaos_controller,
+                args=(cluster, plan, stop, counters, lock),
+                name="chaos-controller",
+                daemon=True,
+            )
+            for worker in workers:
+                worker.start()
+            controller.start()
+            time.sleep(config.duration)
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30.0)
+            controller.join(timeout=30.0)
+            # --- recovery to a fixed point ----------------------------
+            for shard, db in enumerate(cluster.databases):
+                if db.is_crashed:  # pragma: no cover - controller restarts
+                    cluster.restart_shard(shard)
+            deadline = time.monotonic() + config.recovery_deadline
+            while True:
+                _quiet(connection.resolve_in_doubt)
+                pending = _pending_2pc_gtids(cluster)
+                if not pending or time.monotonic() > deadline:
+                    break
+                time.sleep(0.05)
+            _quiet(connection.flush)  # settle deferred read-only COMMITs
+            router_counters = connection.counters()
+        finally:
+            connection.close()
+        cluster.install_faults(None)
+        final_money = cluster.total_money()
+        report = merge_shard_histories(cluster.histories())
+        distributed = sum(
+            1 for txn in report.transactions.values() if txn.is_distributed
+        )
+        return ChaosResult(
+            config=config,
+            serializable=report.serializable,
+            ledger_conserved=final_money == initial_money,
+            initial_money=initial_money,
+            final_money=final_money,
+            in_doubt_after_recovery=len(pending),
+            report_description=report.describe(),
+            counters=counters,
+            router_counters=router_counters,
+            fault_injections={
+                point: count
+                for point, count in plan.injections.items()
+                if count
+            },
+            fault_opportunities=dict(plan.opportunities),
+            shard_restarts=counters["shard_restarts"],
+            global_transactions=len(report.transactions),
+            cross_shard_transactions=distributed,
+            elapsed=time.monotonic() - started,
+        )

@@ -1,20 +1,33 @@
-"""Presumed-abort two-phase commit coordinator (DESIGN.md §12.4).
+"""Presumed-abort two-phase commit coordinator (DESIGN.md §12.4, §13).
 
 Phase 1 sends ``PREPARE_2PC`` to every *writing* branch in shard order;
 a participant votes YES by making the prepare record durable and moving
 the transaction to PREPARED, or votes NO by aborting it (any engine
 error — serialization failure, SSI doom, integrity violation — IS the NO
-vote).  Phase 2 delivers the decision: ``COMMIT_2PC`` to every prepared
+vote).  Phase 2 records the decision on the coordinator's
+:class:`DecisionLog`, then delivers it: ``COMMIT_2PC`` to every prepared
 branch under the oracle's exclusive decision window, or ``ABORT_2PC`` to
 the branches already prepared when some later vote came back NO.
 
-*Presumed abort*: the coordinator logs nothing.  Its decision lives in
-the participants' WALs — a durable prepare followed by a durable
-decision record means committed; a durable prepare with no decision
-means the coordinator presumed abort (participants surface such
-transactions as *in doubt* after recovery, and :meth:`resolve_in_doubt`
-re-delivers the outcome).  The in-memory ``_decisions`` map stands in
-for the coordinator's volatile state in the protocol's recovery story.
+*Presumed abort*: participants never ask the coordinator — a durable
+prepare followed by a durable decision record in the participant's WAL
+means committed; a durable prepare with no decision means aborted.  The
+:class:`DecisionLog` is the coordinator half of that story: a commit
+decision is recorded there *before* any participant hears it, so a
+coordinator crash after the record still commits on recovery
+(:meth:`resolve_in_doubt` re-delivers), while a crash before it presumes
+abort.  The log models the force-write a real coordinator performs; it
+outlives any one :class:`TwoPhaseCoordinator` instance, which is exactly
+the coordinator-recovery contract.
+
+Fault injection (DESIGN.md §13): with a :class:`~repro.faults.FaultPlan`
+installed, ``coordinator-crash-window`` kills the coordinator after all
+prepares and before any decision lands (alternating fires cover both
+sides of the log write), surfacing :class:`~repro.errors.CoordinatorCrashed`
+— an *outcome-unknown* error, deliberately not a
+:class:`~repro.errors.TransactionAborted`.  ``net-dup-decision``
+re-delivers a commit decision immediately, exercising the participants'
+idempotent-redelivery contract on the live path.
 
 ``decision_hook`` is a test seam: called between per-participant
 COMMIT_2PC deliveries so a concurrent *lazy-mode* reader can be wedged
@@ -25,10 +38,59 @@ oracle latch the hook's caller is holding.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import threading
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.cluster.oracle import TimestampOracle
-from repro.errors import ReproError, TransactionStateError
+from repro.errors import (
+    CoordinatorCrashed,
+    ReproError,
+    TransactionStateError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
+    from repro.obs import Observability
+
+
+class DecisionLog:
+    """The coordinator's durable decision store (one per cluster).
+
+    Stand-in for the force-written log record a real coordinator hardens
+    before broadcasting a commit: decisions recorded here survive the
+    coordinator *object* dying (our model of a coordinator process
+    crash), so a recovered coordinator — or the in-doubt resolver acting
+    on its behalf — re-reads the same outcomes.  Append-only per gtid: a
+    decision can be re-recorded identically (idempotent) but never
+    flipped.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._decisions: "dict[str, str]" = {}
+
+    def record(self, gtid: str, decision: str) -> None:
+        if decision not in ("commit", "abort"):
+            raise ValueError(f"decision must be 'commit' or 'abort', got {decision!r}")
+        with self._lock:
+            existing = self._decisions.setdefault(gtid, decision)
+            if existing != decision:
+                raise TransactionStateError(
+                    f"decision for {gtid!r} already logged as {existing!r}; "
+                    f"cannot record {decision!r}"
+                )
+
+    def decision_for(self, gtid: str) -> Optional[str]:
+        with self._lock:
+            return self._decisions.get(gtid)
+
+    def decisions(self) -> "dict[str, str]":
+        with self._lock:
+            return dict(self._decisions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._decisions)
 
 
 class TwoPhaseCoordinator:
@@ -39,14 +101,35 @@ class TwoPhaseCoordinator:
         oracle: TimestampOracle,
         *,
         decision_hook: "Optional[Callable[[str, int], None]]" = None,
+        decision_log: "Optional[DecisionLog]" = None,
+        fault_plan: "FaultPlan | None" = None,
+        obs: "Observability | None" = None,
     ) -> None:
         self.oracle = oracle
         self.decision_hook = decision_hook
-        #: gtid -> "commit" | "abort" (volatile coordinator memory).
-        self._decisions: "dict[str, str]" = {}
+        #: Durable decision store — shareable across coordinator
+        #: incarnations (coordinator recovery hands the same log to a
+        #: fresh instance).
+        self.log = decision_log if decision_log is not None else DecisionLog()
+        self.faults = fault_plan
+        self.obs = obs
+        self._lock = threading.Lock()
+        #: Gtids with a ``commit_two_phase`` currently in flight.  The
+        #: background in-doubt resolver must not touch these: a prepared
+        #: branch of a live 2PC is not an orphan, its decision broadcast
+        #: just has not reached it yet.
+        self._in_flight: "set[str]" = set()
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        self.faults = plan
 
     def decision_for(self, gtid: str) -> Optional[str]:
-        return self._decisions.get(gtid)
+        return self.log.decision_for(gtid)
+
+    @property
+    def in_flight(self) -> "frozenset[str]":
+        with self._lock:
+            return frozenset(self._in_flight)
 
     def commit_two_phase(self, gtid: str, writers: Sequence) -> None:
         """Atomically commit ``writers`` (network sessions) under ``gtid``.
@@ -57,42 +140,78 @@ class TwoPhaseCoordinator:
         every reachable participant has been told — the decision stands
         and recovery re-delivers it to the rest.
         """
-        prepared = []
+        plan = self.faults
+        with self._lock:
+            self._in_flight.add(gtid)
         try:
-            for branch in writers:
-                branch.prepare_2pc(gtid)
-                prepared.append(branch)
-        except BaseException:
-            self._decisions[gtid] = "abort"
-            for branch in prepared:
-                try:
-                    branch.abort_2pc(gtid)
-                except ReproError:
-                    pass  # recovery presumes abort for us
-            raise
-        self._decisions[gtid] = "commit"
-        delivery_error: Optional[BaseException] = None
-        with self.oracle.decision_window():
-            for index, branch in enumerate(prepared):
-                if index and self.decision_hook is not None:
-                    self.decision_hook(gtid, index)
-                try:
-                    branch.commit_2pc(gtid)
-                except ReproError as exc:
-                    if delivery_error is None:
-                        delivery_error = exc
-        if delivery_error is not None:
-            raise delivery_error
+            prepared = []
+            try:
+                for branch in writers:
+                    branch.prepare_2pc(gtid)
+                    prepared.append(branch)
+            except BaseException:
+                self.log.record(gtid, "abort")
+                for branch in prepared:
+                    try:
+                        branch.abort_2pc(gtid)
+                    except ReproError:
+                        pass  # recovery presumes abort for us
+                raise
+            if plan is not None and plan.should_fire("coordinator-crash-window"):
+                # The protocol's in-doubt window: every vote is YES, no
+                # participant has heard a decision.  Alternate fires die
+                # before vs just after the decision log write, covering
+                # presumed abort *and* commit re-delivery on recovery.
+                crashed_after_log = plan.fired("coordinator-crash-window") % 2 == 0
+                if crashed_after_log:
+                    self.log.record(gtid, "commit")
+                if self.obs is not None:
+                    self.obs.fault_injected("coordinator-crash-window")
+                    self.obs.cluster_coordinator_crash()
+                raise CoordinatorCrashed(
+                    f"coordinator crashed holding {len(prepared)} YES "
+                    f"vote(s) for {gtid!r} "
+                    f"({'after' if crashed_after_log else 'before'} the "
+                    f"decision log write)",
+                    gtid=gtid,
+                )
+            self.log.record(gtid, "commit")
+            delivery_error: Optional[BaseException] = None
+            with self.oracle.decision_window():
+                for index, branch in enumerate(prepared):
+                    if index and self.decision_hook is not None:
+                        self.decision_hook(gtid, index)
+                    try:
+                        branch.commit_2pc(gtid)
+                        if plan is not None and plan.should_fire(
+                            "net-dup-decision"
+                        ):
+                            if self.obs is not None:
+                                self.obs.fault_injected("net-dup-decision")
+                            branch.commit_2pc(gtid)  # idempotent by contract
+                    except ReproError as exc:
+                        if delivery_error is None:
+                            delivery_error = exc
+            if delivery_error is not None:
+                raise delivery_error
+        finally:
+            with self._lock:
+                self._in_flight.discard(gtid)
 
     def resolve_in_doubt(self, gtid: str, connections: Sequence) -> str:
         """Re-deliver the outcome of ``gtid`` to recovered participants.
 
         ``connections`` are shard *connections* (not sessions): decision
         ops address transactions by gtid, independent of any wire
-        session.  Unknown gtids are presumed aborted — exactly the
-        protocol's answer to "prepared, but the coordinator forgot".
+        session.  A gtid with no logged decision is presumed aborted —
+        exactly the protocol's answer to "prepared, but the coordinator
+        never hardened a commit".
         """
-        decision = self._decisions.get(gtid, "abort")
+        decision = self.log.decision_for(gtid) or "abort"
+        if decision == "abort":
+            # Harden the presumption so a later resolver pass (or a
+            # recovered coordinator) answers identically.
+            self.log.record(gtid, "abort")
         for connection in connections:
             try:
                 if decision == "commit":

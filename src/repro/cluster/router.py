@@ -28,22 +28,32 @@ servers) in one object for tests, demos and the smoke benchmark.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Optional, Sequence
 
 from repro.api import Connection
-from repro.cluster.coordinator import TwoPhaseCoordinator
+from repro.cluster.coordinator import DecisionLog, TwoPhaseCoordinator
 from repro.cluster.oracle import TimestampOracle
 from repro.cluster.partition import (
     PARTITION_COLUMNS,
     HashPartitioner,
     build_shard_database,
 )
-from repro.errors import SqlError, TransactionStateError
+from repro.errors import (
+    ConnectionClosed,
+    CoordinatorCrashed,
+    ReproError,
+    ShardUnavailable,
+    SqlError,
+    TransactionStateError,
+)
 from repro.net.client import NetworkConnection, NetworkSession, _unwrap
 from repro.sqlmini.ast import Insert, Select, equality_key, evaluate
 from repro.sqlmini.executor import StatementResult, parse_cached
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import Database
+    from repro.faults import FaultPlan
     from repro.obs import Observability
     from repro.workload.retry import RetryPolicy
 
@@ -101,6 +111,7 @@ class ClusterSession:
             # 2PC decision broadcast can interleave them.
             with self._cluster.oracle.snapshot_window():
                 for shard, connection in enumerate(self._cluster.shards):
+                    self._cluster._require_healthy(shard)
                     branch = connection.session()
                     self._branches[shard] = branch
                     branch.begin_now(self._tagged)
@@ -123,6 +134,7 @@ class ClusterSession:
         if branch is None:
             if not self._in_txn:
                 raise TransactionStateError("no active transaction")
+            self._cluster._require_healthy(shard)
             branch = self._cluster.shards[shard].session()
             self._branches[shard] = branch
             branch.begin(self._tagged)  # lazy mode: deferred BEGIN
@@ -157,6 +169,12 @@ class ClusterSession:
                     self._cluster.coordinator.commit_two_phase(
                         self._gtid, writers
                     )
+                except CoordinatorCrashed:
+                    # Outcome *unknown*, deliberately not counted as an
+                    # abort: the decision log plus the in-doubt resolver
+                    # settle the gtid after the fact.
+                    self._cluster._count("coordinator_crashes")
+                    raise
                 except BaseException:
                     self._cluster._count("twopc_aborts")
                     raise
@@ -337,8 +355,38 @@ class ClusterSession:
         return self._branch(shard).execute_prepared(sql, kind, params)
 
 
+@dataclass
+class ShardHealth:
+    """Mutable health record for one shard, maintained by heartbeats."""
+
+    shard: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+    last_error: str = ""
+
+    def snapshot(self) -> dict:
+        return {
+            "shard": self.shard,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
 class ClusterConnection(Connection):
-    """Facade connection over one :class:`NetworkConnection` per shard."""
+    """Facade connection over one :class:`NetworkConnection` per shard.
+
+    Self-healing (DESIGN.md §13): optional heartbeats mark a shard
+    unhealthy after ``unhealthy_after`` consecutive failed pings, and
+    sessions then *fail fast* with
+    :class:`~repro.errors.ShardUnavailable` instead of dialing a dead
+    endpoint; the first successful heartbeat restores it.  An optional
+    background resolver sweeps shard stats for in-doubt or orphaned
+    prepared gtids and re-delivers (or presumes abort for) each via the
+    coordinator's :class:`~repro.cluster.coordinator.DecisionLog`.
+    Neither thread runs unless explicitly started, so default behaviour
+    is unchanged.
+    """
 
     def __init__(
         self,
@@ -351,6 +399,10 @@ class ClusterConnection(Connection):
         url: str = "",
         snapshot_mode: str = "consistent",
         decision_hook: "Optional[Callable[[str, int], None]]" = None,
+        decision_log: "Optional[DecisionLog]" = None,
+        fault_plan: "FaultPlan | None" = None,
+        rpc_deadline: Optional[float] = None,
+        unhealthy_after: int = 3,
     ) -> None:
         if not addresses:
             raise ValueError("cluster needs at least one shard address")
@@ -359,6 +411,8 @@ class ClusterConnection(Connection):
                 f"snapshot_mode must be 'consistent' or 'lazy', "
                 f"got {snapshot_mode!r}"
             )
+        if unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
         self.retry_policy = retry_policy
         self.obs = obs
         self.snapshot_mode = snapshot_mode
@@ -368,8 +422,33 @@ class ClusterConnection(Connection):
         self.partitioner = HashPartitioner(len(addresses))
         self.oracle = TimestampOracle()
         self.coordinator = TwoPhaseCoordinator(
-            self.oracle, decision_hook=decision_hook
+            self.oracle,
+            decision_hook=decision_hook,
+            decision_log=decision_log,
+            fault_plan=fault_plan,
+            obs=obs,
         )
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "fastpath_commits": 0,
+            "twopc_commits": 0,
+            "twopc_aborts": 0,
+            "coordinator_crashes": 0,
+            "in_doubt_commits": 0,
+            "in_doubt_aborts": 0,
+        }
+        #: sql -> (table, routing expr, via-CustomerId), shared by sessions.
+        self._route_meta: "dict[str, tuple]" = {}
+        # --- health / self-healing state ------------------------------
+        self.unhealthy_after = unhealthy_after
+        self._health_lock = threading.Lock()
+        self._health = [ShardHealth(shard=i) for i in range(len(addresses))]
+        #: Fail-fast only once heartbeats run: without an active health
+        #: signal a "down" verdict could never be revised.
+        self._health_enforced = False
+        self._stop_background = threading.Event()
+        self._heartbeat_thread: "Optional[threading.Thread]" = None
+        self._resolver_thread: "Optional[threading.Thread]" = None
         self.shards: "list[NetworkConnection]" = []
         try:
             for host, port in addresses:
@@ -381,19 +460,12 @@ class ClusterConnection(Connection):
                         obs=obs,
                         pool_size=pool_size,
                         timeout=timeout,
+                        rpc_deadline=rpc_deadline,
                     )
                 )
         except BaseException:
             self.close()
             raise
-        self._counter_lock = threading.Lock()
-        self._counters = {
-            "fastpath_commits": 0,
-            "twopc_commits": 0,
-            "twopc_aborts": 0,
-        }
-        #: sql -> (table, routing expr, via-CustomerId), shared by sessions.
-        self._route_meta: "dict[str, tuple]" = {}
 
     def _count(self, name: str) -> None:
         with self._counter_lock:
@@ -408,21 +480,168 @@ class ClusterConnection(Connection):
         with self._counter_lock:
             return dict(self._counters)
 
+    # --- Shard health -------------------------------------------------
+    def shard_health(self) -> "list[dict]":
+        """Per-shard health snapshots (heartbeat-maintained)."""
+        with self._health_lock:
+            return [health.snapshot() for health in self._health]
+
+    def _unhealthy_count(self) -> int:
+        with self._health_lock:
+            return sum(1 for health in self._health if not health.healthy)
+
+    def _require_healthy(self, shard: int) -> None:
+        """Fail fast on a known-dead shard instead of dialing into a hang.
+
+        Only enforced while heartbeats are running: they are the signal
+        that both demotes a shard and promotes it back.
+        """
+        if not self._health_enforced:
+            return
+        with self._health_lock:
+            health = self._health[shard]
+            if health.healthy:
+                return
+            last_error = health.last_error
+        raise ShardUnavailable(
+            f"shard {shard} is marked unhealthy ({last_error or 'heartbeats failing'})"
+        )
+
+    def _note_shard_ok(self, shard: int) -> None:
+        with self._health_lock:
+            health = self._health[shard]
+            recovered = not health.healthy
+            health.healthy = True
+            health.consecutive_failures = 0
+            health.last_error = ""
+        if recovered and self.obs is not None:
+            self.obs.cluster_shard_health(self._unhealthy_count())
+
+    def _note_shard_failure(self, shard: int, exc: BaseException) -> None:
+        with self._health_lock:
+            health = self._health[shard]
+            health.consecutive_failures += 1
+            health.last_error = str(exc)
+            demoted = (
+                health.healthy
+                and health.consecutive_failures >= self.unhealthy_after
+            )
+            if demoted:
+                health.healthy = False
+        if demoted and self.obs is not None:
+            self.obs.cluster_shard_health(self._unhealthy_count())
+
+    def heartbeat(self, deadline: Optional[float] = None) -> "list[bool]":
+        """One synchronous health probe of every shard (single attempt)."""
+        results = []
+        for shard, connection in enumerate(self.shards):
+            ok = connection.ping(deadline=deadline)
+            if self.obs is not None:
+                self.obs.cluster_heartbeat(shard, ok)
+            if ok:
+                self._note_shard_ok(shard)
+            else:
+                self._note_shard_failure(
+                    shard, ConnectionClosed("heartbeat ping failed")
+                )
+            results.append(ok)
+        return results
+
+    def start_heartbeats(
+        self, interval: float = 0.2, deadline: Optional[float] = None
+    ) -> None:
+        """Run :meth:`heartbeat` on a daemon thread; enables fail-fast."""
+        if self._heartbeat_thread is not None:
+            return
+        self._health_enforced = True
+
+        def loop() -> None:
+            while not self._stop_background.wait(interval):
+                try:
+                    self.heartbeat(deadline)
+                except ReproError:  # pragma: no cover - defensive
+                    pass
+
+        self._heartbeat_thread = threading.Thread(
+            target=loop, name="repro-cluster-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def start_in_doubt_resolver(self, interval: float = 0.2) -> None:
+        """Sweep for in-doubt / orphaned prepared gtids on a daemon thread."""
+        if self._resolver_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop_background.wait(interval):
+                try:
+                    self.resolve_in_doubt()
+                except ReproError:  # pragma: no cover - defensive
+                    pass
+
+        self._resolver_thread = threading.Thread(
+            target=loop, name="repro-cluster-resolver", daemon=True
+        )
+        self._resolver_thread.start()
+
+    def stop_background(self) -> None:
+        """Stop the heartbeat and resolver threads (idempotent)."""
+        self._stop_background.set()
+        for thread in (self._heartbeat_thread, self._resolver_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        self._heartbeat_thread = None
+        self._resolver_thread = None
+        self._stop_background = threading.Event()
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Install (or clear) the coordinator-side fault plan."""
+        self.coordinator.install_faults(plan)
+
     # --- Connection surface -------------------------------------------
     def session(self) -> ClusterSession:
         return ClusterSession(self)
 
     def ping(self) -> bool:
-        return all(shard.ping() for shard in self.shards)
+        """True iff every shard answers; probes all (no short-circuit).
+
+        Each probe is bounded by the per-shard connection ``timeout`` —
+        a down shard yields ``False``, never an indefinite hang.
+        """
+        results = [shard.ping() for shard in self.shards]
+        for shard, ok in enumerate(results):
+            if not ok:
+                self._note_shard_failure(
+                    shard, ConnectionClosed("ping failed")
+                )
+        return all(results)
 
     def stats(self) -> dict:
+        """Merged stats; per-shard fetches are deadline-bounded and
+        fail-soft (an unreachable shard contributes an ``unreachable``
+        stub plus its health record instead of an exception or a hang).
+        """
         merged: dict = {
             "backend": "cluster",
             "shards": self.shard_count,
             "snapshot_mode": self.snapshot_mode,
             **self.counters(),
         }
-        merged["shard_stats"] = [shard.stats() for shard in self.shards]
+        shard_stats: "list[dict]" = []
+        for shard, connection in enumerate(self.shards):
+            try:
+                shard_stats.append(connection.stats())
+            except ConnectionClosed as exc:
+                self._note_shard_failure(shard, exc)
+                shard_stats.append(
+                    {
+                        "backend": "network",
+                        "unreachable": True,
+                        "error": str(exc),
+                    }
+                )
+        merged["shard_stats"] = shard_stats
+        merged["shard_health"] = self.shard_health()
         return merged
 
     def vacuum(self) -> int:
@@ -439,19 +658,54 @@ class ClusterConnection(Connection):
             shard.flush()
 
     def resolve_in_doubt(self) -> "dict[str, str]":
-        """Re-deliver coordinator decisions to shards recovered in doubt."""
+        """Settle every in-doubt or orphaned-prepared gtid the shards report.
+
+        Covers two populations: gtids recovered *in doubt* after a shard
+        crash (durable prepare, no decision), and *live* prepared orphans
+        whose coordinator died mid-2PC (the branch is PREPARED but no
+        decision will ever arrive).  Gtids still in flight on this
+        connection's coordinator are skipped — their decision broadcast
+        is simply not done yet.  Unreachable shards are skipped too;
+        their in-doubt state survives the outage and a later sweep (or
+        restart) settles it.
+        """
         outcomes: "dict[str, str]" = {}
-        for shard in self.shards:
-            stats = shard.stats()
-            if not stats.get("in_doubt_2pc"):
+        in_flight = self.coordinator.in_flight
+        #: gtid -> the shard connections reporting it; each gtid is
+        #: settled exactly once per sweep, with one delivery per shard
+        #: (so the in_doubt_* counters count settled *transactions*).
+        pending: "dict[str, list[NetworkConnection]]" = {}
+        for index, shard in enumerate(self.shards):
+            try:
+                stats = shard.stats()
+            except ConnectionClosed as exc:
+                self._note_shard_failure(index, exc)
                 continue
-            for gtid in stats.get("in_doubt_gtids", ()):
-                outcomes[gtid] = self.coordinator.resolve_in_doubt(
-                    gtid, [shard]
-                )
+            gtids = list(stats.get("in_doubt_gtids", ()))
+            gtids.extend(
+                gtid
+                for gtid in stats.get("prepared_gtids", ())
+                if gtid not in in_flight and gtid not in gtids
+            )
+            for gtid in gtids:
+                pending.setdefault(gtid, []).append(shard)
+        for gtid, shards in pending.items():
+            try:
+                outcome = self.coordinator.resolve_in_doubt(gtid, shards)
+            except ConnectionClosed:  # shard died mid-resolution
+                continue
+            outcomes[gtid] = outcome
+            self._count(
+                "in_doubt_commits"
+                if outcome == "commit"
+                else "in_doubt_aborts"
+            )
+            if self.obs is not None:
+                self.obs.cluster_in_doubt_resolved(outcome)
         return outcomes
 
     def close(self) -> None:
+        self.stop_background()
         for shard in self.shards:
             shard.close()
 
@@ -491,6 +745,15 @@ class Cluster:
         )
         self.shard_count = shard_count
         self.partitioner = HashPartitioner(shard_count)
+        self._autovacuum_interval = autovacuum_interval
+        self.fault_plan: "FaultPlan | None" = None
+        self.restart_count = 0
+        #: Committed-history prefixes salvaged at each crash, per shard.
+        self._history_prefix: "dict[int, list]" = {}
+        #: Bumped per crash: salvaged txids are remapped into a disjoint
+        #: range (epoch * 10**7) so they can never collide with the
+        #: restarted engine's txid counter, which recovery restarts at 0.
+        self._salvage_epoch = 0
         self.databases = []
         self.recorders = []
         self.servers = []
@@ -527,12 +790,101 @@ class Cluster:
         kwargs.setdefault("url", self.url)
         return ClusterConnection(self.addresses, **kwargs)
 
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Install (or clear) the fault plan on every shard server.
+
+        Remembered so :meth:`restart_shard` re-installs it on the
+        replacement server.  Clear with ``None`` before measuring.
+        """
+        self.fault_plan = plan
+        for server in self.servers:
+            server.install_faults(plan)
+
+    def crash_shard(self, shard: int) -> None:
+        """Power-fail one shard: crash its engine, stop its server.
+
+        The shard's recorder history is salvaged up to the *durable
+        horizon* first: the recorder observes a commit when the status
+        flips, which happens before the group-commit WAL sync — a crash
+        can therefore revoke the durability of the newest recorded write
+        commits.  Writes past the horizon are dropped (their committers
+        saw :class:`~repro.errors.DatabaseCrashed` from the sync), and so
+        are read-only commits that *observed* a revoked version — their
+        reads would otherwise be misattributed to post-restart writers,
+        whose timestamps reuse the crashed clock's lost range.  Salvaged
+        txids are shifted into a per-crash epoch range because recovery
+        restarts the txid counter and the MVSG keys nodes by txid.
+        """
+        from dataclasses import replace
+
+        db = self.databases[shard]
+        recorder = self.recorders[shard]
+        db.crash()
+        self.servers[shard].shutdown()
+        horizon = max(
+            (record.commit_ts for record in db.wal.durable_records),
+            default=0,
+        )
+        self._salvage_epoch += 1
+        offset = self._salvage_epoch * 10_000_000
+        salvaged = []
+        for txn in recorder.committed:
+            if txn.is_read_only:
+                if any(version_ts > horizon for _row, version_ts in txn.reads):
+                    continue
+            elif txn.commit_ts > horizon:
+                continue
+            salvaged.append(replace(txn, txid=txn.txid + offset))
+        self._history_prefix.setdefault(shard, []).extend(salvaged)
+        recorder.clear()
+
+    def restart_shard(self, shard: int) -> "Database":
+        """Recover a crashed shard and serve it again *on the same port*.
+
+        A fresh engine is rebuilt from the durable state (checkpoint
+        image + flushed WAL prefix), a fresh recorder attached, and a
+        new server bound to the old address so existing client
+        connections reconnect transparently.  The remembered fault plan
+        is re-installed on the replacement.
+        """
+        from repro.analysis.recorder import record_database
+        from repro.net.server import DatabaseServer
+
+        old_db = self.databases[shard]
+        if not old_db.is_crashed:
+            raise TransactionStateError(
+                f"shard {shard} has not crashed; nothing to restart"
+            )
+        old_server = self.servers[shard]
+        recovered = old_db.recover()
+        self.databases[shard] = recovered
+        self.recorders[shard] = record_database(recovered)
+        server = DatabaseServer(
+            recovered,
+            host=old_server.host,
+            port=old_server.port,
+            autovacuum_interval=self._autovacuum_interval,
+            fault_plan=self.fault_plan,
+        )
+        server.start_in_thread()
+        self.servers[shard] = server
+        self.restart_count += 1
+        return recovered
+
     def histories(self):
-        """Per-shard committed histories, ready for the global merge."""
-        return {
-            shard: recorder.committed
-            for shard, recorder in enumerate(self.recorders)
-        }
+        """Per-shard committed histories, ready for the global merge.
+
+        Includes the durable prefixes salvaged by :meth:`crash_shard`
+        ahead of whatever the current recorder incarnation has observed.
+        """
+        merged = {}
+        for shard, recorder in enumerate(self.recorders):
+            prefix = self._history_prefix.get(shard)
+            committed = recorder.committed
+            merged[shard] = (
+                tuple(prefix) + committed if prefix else committed
+            )
+        return merged
 
     def total_money(self) -> float:
         """Cluster-wide balance sum (matches the single-node population)."""

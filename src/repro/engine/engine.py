@@ -295,6 +295,14 @@ class Database:
 
     def _crash_locked(self) -> None:
         self._crashed = True
+        # Threads blocked on a lock held by one of these transactions are
+        # sleeping until its resolution callbacks fire.  The crash
+        # vaporizes the transaction, so mark it aborted and fire the
+        # callbacks here — woken waiters retry their operation and
+        # surface DatabaseCrashed instead of sleeping forever.
+        casualties = list(self._active.values()) + list(
+            self._prepared.values()
+        )
         self._active.clear()
         # Prepared transactions lose their in-memory state like everyone
         # else; their durable prepare records make them in-doubt on the
@@ -302,6 +310,10 @@ class Database:
         self._prepared.clear()
         self._resolved_gtids.clear()
         self._in_doubt.clear()
+        for txn in casualties:
+            txn.status = TxnStatus.ABORTED
+            for callback in txn.drain_callbacks():
+                callback(txn)
         # Records staged for group commit were never flushed: spill them
         # into the volatile tail so the truncation below discards them —
         # their committers learn the commit was lost when their sync sees
@@ -1023,7 +1035,12 @@ class Database:
         stash entry after recovery.  *No WAL record is written* — under
         presumed abort, a prepare with no decision on the log already
         reads as aborted, so the abort decision needs no durable trace.
-        Idempotent for already-aborted gtids.
+        Idempotent for already-aborted gtids — including gtids this
+        participant never prepared at all: an unknown gtid's prepare may
+        have died with a crashed connection before the vote, and the
+        coordinator's abort broadcast must still land as a harmless no-op
+        (the presumed-abort contract).  Only contradicting a recorded
+        commit is an error.
         """
         callbacks: list[Callable[[Transaction], None]] = []
         txn: Optional[Transaction] = None
@@ -1038,10 +1055,7 @@ class Database:
                 )
             txn = self._prepared.pop(gtid, None)
             if txn is None:
-                if self._in_doubt.pop(gtid, None) is None:
-                    raise TransactionStateError(
-                        f"no prepared transaction for gtid {gtid!r}"
-                    )
+                self._in_doubt.pop(gtid, None)
             else:
                 self._abort_locked(txn, reason="2pc-abort")
                 callbacks = txn.drain_callbacks()

@@ -211,6 +211,38 @@ class ConnectionClosed(ReproError):
     code = "connection-closed"
 
 
+class ShardUnavailable(ConnectionClosed):
+    """A cluster shard is marked unhealthy — fail fast instead of dialing.
+
+    Raised by :class:`repro.cluster.ClusterConnection` when health
+    tracking (heartbeats) has declared a shard down.  Semantically a
+    connection failure, but typed so chaos harnesses and retry loops can
+    distinguish "known-down shard, back off and wait for recovery" from a
+    fresh connection error.
+    """
+
+    code = "shard-unavailable"
+
+
+class CoordinatorCrashed(ReproError):
+    """The 2PC coordinator died inside the prepare→decision window.
+
+    The outcome of the global transaction is *unknown* to the caller:
+    every participant voted YES, but whether the commit decision reached
+    the coordinator's durable log decides commit vs presumed abort.  This
+    is deliberately **not** a :class:`TransactionAborted` — the
+    transaction may still commit during recovery, so the caller must not
+    blindly re-execute it; it must wait for in-doubt resolution
+    (:meth:`repro.cluster.ClusterConnection.resolve_in_doubt`).
+    """
+
+    code = "coordinator-crashed"
+
+    def __init__(self, message: str = "", gtid: str = "") -> None:
+        super().__init__(message or "coordinator crashed before the decision landed")
+        self.gtid = gtid
+
+
 # ----------------------------------------------------------------------
 # Code registry (wire round-trip)
 # ----------------------------------------------------------------------

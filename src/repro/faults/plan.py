@@ -26,6 +26,33 @@ Injection points wired into the system (see :data:`INJECTION_POINTS`):
     :class:`repro.engine.session.Session` treats the next lock wait as an
     expired lock-wait timeout: the transaction aborts with
     :class:`~repro.errors.LockTimeout` without waiting.
+``net-drop-frame``
+    :class:`repro.net.DatabaseServer` drops one outbound response frame
+    (the request *did* execute).  The client hangs until its per-RPC
+    deadline expires and surfaces :class:`~repro.errors.ConnectionClosed`.
+``net-delay-frame``
+    The server holds one outbound response (and, to preserve the
+    connection's response ordering, everything queued behind it) for
+    ``magnitude`` seconds before delivery.
+``conn-reset``
+    The server abruptly closes the transport instead of answering — the
+    client sees EOF/ECONNRESET mid-stream; any open transaction on the
+    connection is reaped server-side.
+``net-dup-decision``
+    :class:`repro.cluster.TwoPhaseCoordinator` delivers a commit decision
+    to a participant *twice*, exercising the idempotent-redelivery
+    contract of ``COMMIT_2PC``.
+``shard-crash``
+    A chaos controller (see :mod:`repro.cluster.chaos`) crashes one shard
+    — abrupt ``Database.crash`` plus server teardown — and restarts it on
+    the same port after ``magnitude`` seconds of downtime.
+``coordinator-crash-window``
+    :class:`repro.cluster.TwoPhaseCoordinator` dies inside the protocol's
+    in-doubt window: after every participant voted YES, before any
+    decision lands.  Fires alternate between crashing *before* the
+    decision reaches the durable log (recovery presumes abort) and
+    *after* (recovery re-delivers the commit), covering both recovery
+    paths.  Raises :class:`~repro.errors.CoordinatorCrashed`.
 
 Determinism: every probabilistic decision draws from one private
 ``random.Random`` seeded at construction, consumed in call order under a
@@ -49,6 +76,12 @@ INJECTION_POINTS = frozenset(
         "wal-stall",
         "client-death",
         "lock-timeout",
+        "net-drop-frame",
+        "net-delay-frame",
+        "net-dup-decision",
+        "conn-reset",
+        "shard-crash",
+        "coordinator-crash-window",
     }
 )
 
@@ -69,8 +102,9 @@ class FaultSpec:
     max_fires:
         Stop firing after this many injections (``None`` = unlimited).
     magnitude:
-        Point-specific intensity — seconds of stall for ``wal-stall``;
-        unused elsewhere.
+        Point-specific intensity — seconds of stall for ``wal-stall``,
+        of response delay for ``net-delay-frame``, of shard downtime for
+        ``shard-crash``; unused elsewhere.
     """
 
     point: str

@@ -30,8 +30,10 @@ Semantics notes
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Optional, Union
 
 from repro.api import Connection
@@ -69,19 +71,23 @@ class WireConnection:
         *,
         timeout: Optional[float] = 10.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        rpc_deadline: Optional[float] = None,
     ) -> None:
         self.max_frame = max_frame
         self.broken = False
+        #: Per-RPC response deadline in seconds (None = block until the
+        #: server answers — the default; see module docstring for why).
+        self.rpc_deadline = rpc_deadline
         try:
             self.sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
             raise ConnectionClosed(
                 f"cannot connect to {host}:{port}: {exc}"
             ) from None
-        # Connected: from here on RPCs block until the server answers (see
-        # module docstring for why there is no read timeout).  Frames are
+        # Connected: from here on RPCs block until the server answers
+        # (unless an explicit ``rpc_deadline`` bounds them).  Frames are
         # small and latency-bound: disable Nagle.
-        self.sock.settimeout(None)
+        self.sock.settimeout(rpc_deadline)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
         self._decoder = FrameDecoder(max_frame)
@@ -96,21 +102,32 @@ class WireConnection:
         #: next read on this wire silently consumes them first.
         self._owed = 0
 
+    def _recv_chunk(self) -> bytes:
+        """One ``recv``; deadline expiry and EOF surface as ConnectionClosed."""
+        try:
+            chunk = self.sock.recv(65536)
+        except socket.timeout:
+            raise ConnectionClosed(
+                f"no response within the {self.sock.gettimeout()}s RPC deadline"
+            ) from None
+        except OSError as exc:
+            raise ConnectionClosed(
+                f"socket error while receiving: {exc}"
+            ) from None
+        if not chunk:
+            # Raises ConnectionClosed itself if the close truncated a
+            # frame (poisoning the decoder), else we report the clean EOF.
+            self._decoder.feed_eof()
+            raise ConnectionClosed("server closed the connection")
+        return chunk
+
     def _read_response(self) -> dict:
         """One buffered-frame read (usually a single ``recv`` syscall)."""
         if self._sendbuf:  # never block on responses to unsent requests
             self._flush_locked()
         while True:
             while not self._inbox:
-                try:
-                    chunk = self.sock.recv(65536)
-                except OSError as exc:
-                    raise ConnectionClosed(
-                        f"socket error while receiving: {exc}"
-                    ) from None
-                if not chunk:
-                    raise ConnectionClosed("server closed the connection")
-                self._inbox.extend(self._decoder.feed(chunk))
+                self._inbox.extend(self._decoder.feed(self._recv_chunk()))
             frame = self._inbox.pop(0)
             if self._owed:
                 # Deferred ack: only ever issued for operations that
@@ -166,13 +183,34 @@ class WireConnection:
             self.broken = True
             raise
 
-    def call(self, op: str, args: Mapping[str, object]) -> dict:
-        """One request/response round trip; raises the server's error."""
+    def call(
+        self,
+        op: str,
+        args: Mapping[str, object],
+        deadline: Optional[float] = None,
+    ) -> dict:
+        """One request/response round trip; raises the server's error.
+
+        ``deadline`` bounds *this* call's response wait (overriding the
+        wire's ``rpc_deadline`` for its duration); expiry breaks the wire
+        — a late response could not be paired with its request anyway.
+        """
         self.buffer(op, args)
         try:
             with self._lock:
-                self._flush_locked()
-                response = self._read_response()
+                if deadline is not None and deadline != self.rpc_deadline:
+                    self.sock.settimeout(deadline)
+                    try:
+                        self._flush_locked()
+                        response = self._read_response()
+                    finally:
+                        try:
+                            self.sock.settimeout(self.rpc_deadline)
+                        except OSError:  # pragma: no cover - broken socket
+                            self.broken = True
+                else:
+                    self._flush_locked()
+                    response = self._read_response()
         except (ConnectionClosed, ProtocolError):
             self.broken = True
             raise
@@ -195,17 +233,9 @@ class WireConnection:
                     self._flush_locked()
                 while self._owed:
                     while not self._inbox:
-                        try:
-                            chunk = self.sock.recv(65536)
-                        except OSError as exc:
-                            raise ConnectionClosed(
-                                f"socket error while receiving: {exc}"
-                            ) from None
-                        if not chunk:
-                            raise ConnectionClosed(
-                                "server closed the connection"
-                            )
-                        self._inbox.extend(self._decoder.feed(chunk))
+                        self._inbox.extend(
+                            self._decoder.feed(self._recv_chunk())
+                        )
                     frame = self._inbox.pop(0)
                     self._owed -= 1
                     if not frame.get("ok"):
@@ -498,6 +528,24 @@ class NetworkSession:
             raise_error_payload(first_error)
         return responses[len(pending):]
 
+    def _stale_sid(self, exc: BaseException) -> BaseException:
+        """Heal the statement-id cache after a server restart.
+
+        Sids are namespaced per server instance, so an "unknown statement
+        id" answer proves the server restarted since the sid was learnt —
+        and that *every* cached sid is stale.  Clear the cache (the next
+        transaction re-sends SQL text and re-learns fresh sids) and
+        surface the failure as the transient :class:`ConnectionClosed`
+        it is, so retry layers treat it like the reconnect artifact it
+        is rather than a hard protocol violation.
+        """
+        if isinstance(exc, ProtocolError) and "unknown statement id" in str(exc):
+            self._connection._sids.clear()
+            return ConnectionClosed(
+                f"server restarted: statement cache invalidated ({exc})"
+            )
+        return exc
+
     def _call(self, op: str, **args: object) -> dict:
         wire = self._wire
         if wire is None:
@@ -531,13 +579,16 @@ class NetworkSession:
             ok = False
             self._in_txn = False
             raise
-        except (ConnectionClosed, ProtocolError):
+        except (ConnectionClosed, ProtocolError) as exc:
             ok = False
             self._in_txn = False
             self._wire = None
             self._pipeline = []
             self._connection._discard(wire)
-            raise
+            healed = self._stale_sid(exc)
+            if healed is exc:
+                raise
+            raise healed from exc
         except Exception:
             ok = False
             raise
@@ -583,12 +634,15 @@ class NetworkSession:
         except TransactionAborted:
             self._in_txn = False
             raise
-        except (ConnectionClosed, ProtocolError):
+        except (ConnectionClosed, ProtocolError) as exc:
             self._in_txn = False
             self._wire = None
             self._pipeline = []
             self._connection._discard(wire)
-            raise
+            healed = self._stale_sid(exc)
+            if healed is exc:
+                raise
+            raise healed from exc
 
     # ------------------------------------------------------------------
     # Transaction control (facade session contract)
@@ -980,9 +1034,15 @@ class NetworkConnection(Connection):
         timeout: Optional[float] = 10.0,
         max_frame: int = DEFAULT_MAX_FRAME,
         url: str = "",
+        rpc_deadline: Optional[float] = None,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.05,
+        reconnect_backoff_max: float = 1.0,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be at least 1")
+        if reconnect_attempts < 1:
+            raise ValueError("reconnect_attempts must be at least 1")
         self.host = host
         self.port = port
         self.retry_policy = retry_policy
@@ -991,6 +1051,17 @@ class NetworkConnection(Connection):
         self.timeout = timeout
         self.max_frame = max_frame
         self.url = url or f"tcp://{host}:{port}"
+        #: Per-RPC response deadline applied to every wire (None = RPCs
+        #: block until the server answers, the pre-existing behaviour).
+        self.rpc_deadline = rpc_deadline
+        #: Bounded exponential backoff for idempotent out-of-session ops
+        #: (PING / STATS / VACUUM / decision delivery): on a connection
+        #: failure ``_call_once`` redials up to ``reconnect_attempts``
+        #: times, sleeping ``backoff * 2^n`` (jittered, capped).
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_max = reconnect_backoff_max
+        self._backoff_rng = random.Random(f"net-reconnect/{host}:{port}")
         self._idle: list[WireConnection] = []
         self._lock = threading.Lock()
         self._slots = threading.Semaphore(pool_size)
@@ -1033,6 +1104,7 @@ class NetworkConnection(Connection):
             wire = WireConnection(
                 self.host, self.port,
                 timeout=self.timeout, max_frame=self.max_frame,
+                rpc_deadline=self.rpc_deadline,
             )
             if self._isolation is None:
                 # One-time server handshake (first wire only): the
@@ -1061,28 +1133,85 @@ class NetworkConnection(Connection):
         wire.close()
         self._slots.release()
 
-    def _call_once(self, op: str, **args: object) -> dict:
-        wire = self._acquire()
-        try:
-            response = wire.call(op, args)
-        except BaseException:
-            self._discard(wire)
-            raise
-        self._release(wire)
-        return response
+    def _call_once(
+        self,
+        op: str,
+        _deadline: Optional[float] = None,
+        _attempts: Optional[int] = None,
+        **args: object,
+    ) -> dict:
+        """One out-of-session RPC with automatic reconnect.
+
+        Every ``_call_once`` operation is idempotent (PING, STATS,
+        VACUUM, 2PC decision delivery — the engine remembers resolved
+        gtids), so a connection failure is retried on a *fresh* wire up
+        to ``reconnect_attempts`` times with jittered exponential
+        backoff.  Server-side errors (which prove the request arrived)
+        propagate immediately.  ``_attempts=1`` disables the retries —
+        health probes want the fast no.
+        """
+        attempts = self.reconnect_attempts if _attempts is None else _attempts
+        backoff = self.reconnect_backoff
+        failure: Optional[ConnectionClosed] = None
+        for attempt in range(max(1, attempts)):
+            if attempt:
+                if self.obs is not None:
+                    self.obs.net_reconnect(op)
+                time.sleep(backoff * (0.5 + self._backoff_rng.random()))
+                backoff = min(backoff * 2.0, self.reconnect_backoff_max)
+            if self._closed:
+                raise ConnectionClosed(f"connection {self.url} is closed")
+            try:
+                wire = self._acquire()
+            except ConnectionClosed as exc:
+                failure = exc
+                continue
+            try:
+                response = wire.call(op, args, deadline=_deadline)
+            except ConnectionClosed as exc:
+                self._discard(wire)
+                failure = exc
+                continue
+            except BaseException:
+                self._discard(wire)
+                raise
+            self._release(wire)
+            return response
+        assert failure is not None
+        raise failure
 
     # --- Connection surface ----------------------------------------------
     def session(self) -> NetworkSession:
         return NetworkSession(self, self._acquire())
 
-    def ping(self) -> bool:
+    def _probe_deadline(self, deadline: Optional[float]) -> Optional[float]:
+        """Bound for introspection RPCs: explicit ``deadline``, else the
+        configured per-RPC deadline, else the connection ``timeout``."""
+        if deadline is not None:
+            return deadline
+        if self.rpc_deadline is not None:
+            return self.rpc_deadline
+        return self.timeout
+
+    def ping(self, deadline: Optional[float] = None) -> bool:
+        """Liveness probe: bounded by ``deadline`` (default: the per-RPC
+        deadline, else the connection ``timeout``), never retried — a
+        down server answers ``False`` fast instead of hanging."""
+        bound = self._probe_deadline(deadline)
         try:
-            return bool(self._call_once("PING").get("pong"))
+            return bool(
+                self._call_once("PING", _deadline=bound, _attempts=1).get("pong")
+            )
         except ConnectionClosed:
             return False
 
-    def stats(self) -> dict:
-        stats = dict(self._call_once("STATS")["stats"])
+    def stats(self, deadline: Optional[float] = None) -> dict:
+        """Server counters; the response wait is bounded by ``deadline``
+        (default: the per-RPC deadline, else the connection ``timeout``)
+        so a dead server surfaces as :class:`ConnectionClosed` instead of
+        an infinite hang."""
+        bound = self._probe_deadline(deadline)
+        stats = dict(self._call_once("STATS", _deadline=bound)["stats"])
         stats["backend"] = "network"
         return stats
 
@@ -1112,12 +1241,20 @@ class NetworkConnection(Connection):
                 wire.close()
 
     def commit_2pc(self, gtid: str) -> int:
-        """Decision delivery outside any session (coordinator recovery)."""
-        return int(self._call_once("COMMIT_2PC", gtid=gtid)["commit_ts"])
+        """Decision delivery outside any session (coordinator recovery).
+
+        Retried across reconnects: the engine remembers resolved gtids,
+        so re-delivering a commit decision is idempotent by contract.
+        """
+        return int(
+            self._call_once("COMMIT_2PC", _deadline=self.timeout, gtid=gtid)[
+                "commit_ts"
+            ]
+        )
 
     def abort_2pc(self, gtid: str) -> None:
-        """Abort-decision delivery outside any session."""
-        self._call_once("ABORT_2PC", gtid=gtid)
+        """Abort-decision delivery outside any session (idempotent)."""
+        self._call_once("ABORT_2PC", _deadline=self.timeout, gtid=gtid)
 
     def close(self) -> None:
         with self._lock:

@@ -145,7 +145,7 @@ class FrameDecoder:
     def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
         self.max_frame = max_frame
         self._buffer = bytearray()
-        self._error: Optional[ProtocolError] = None
+        self._error: "Optional[ReproError]" = None
 
     def feed(self, data: bytes) -> list[dict]:
         if self._error is not None:
@@ -179,6 +179,26 @@ class FrameDecoder:
         except ProtocolError as exc:
             self._error = exc
             raise
+
+    def feed_eof(self) -> None:
+        """The byte stream ended: raise if it ended *inside* a frame.
+
+        A clean EOF at a frame boundary is a no-op; an EOF with buffered
+        bytes means the peer closed mid-frame (a truncated length prefix
+        or a payload cut short) — that is a :class:`ConnectionClosed`,
+        and it poisons the decoder so a late ``feed`` cannot quietly
+        resume and misparse the stream.  Deterministic: no partial op is
+        ever surfaced, and nothing blocks.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._buffer:
+            exc = ConnectionClosed(
+                f"peer closed mid-frame ({len(self._buffer)} byte(s) of an "
+                f"incomplete frame buffered)"
+            )
+            self._error = exc
+            raise exc
 
     @property
     def pending_bytes(self) -> int:

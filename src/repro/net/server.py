@@ -50,6 +50,7 @@ frees, with ``backpressure=False`` they are refused with an error frame.
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -74,6 +75,7 @@ from repro.sqlmini import PreparedStatement
 from repro.sqlmini.ast import Select
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
     from repro.obs import Observability
 
 #: Shared stateless waiter for the inline fast path (see ``_serve``).
@@ -103,6 +105,11 @@ class _ServerProtocol(asyncio.Protocol):
         self.conn: Optional[_ClientConnection] = None
         self.busy = False  # a blocking request is on the worker thread
         self.closed = False
+        #: Responses parked behind a delayed frame (``net-delay-frame``):
+        #: per-connection response order must survive the delay, so
+        #: everything queued after a held frame waits with it.
+        self._outbox: "list[bytes]" = []
+        self._delaying = False
 
     # --- asyncio callbacks (loop thread) -------------------------------
     def connection_made(self, transport) -> None:
@@ -131,12 +138,52 @@ class _ServerProtocol(asyncio.Protocol):
 
     # --- helpers -------------------------------------------------------
     def _send(self, message: dict) -> None:
+        if self.server.faults is not None:
+            self._deliver(encode_frame(message))
+            return
         if self.transport is not None and not self.transport.is_closing():
             self.transport.write(encode_frame(message))
 
     def _send_raw(self, data: bytes) -> None:
         if self.transport is not None and not self.transport.is_closing():
             self.transport.write(data)
+
+    def _deliver(self, data: bytes) -> None:
+        """Outbound response with fault hooks (loop thread only).
+
+        Consulted per response frame *only when a plan is installed* —
+        the no-plan path batches raw writes exactly as before.  The
+        request has already executed by the time its response reaches
+        this point, so every fault here is a lost/late *acknowledgement*,
+        the classic 2PC ambiguity the client stack must absorb.
+        """
+        if self.transport is None or self.transport.is_closing():
+            return
+        plan = self.server.faults
+        if plan is not None:
+            if plan.should_fire("conn-reset"):
+                self.server._note_fault("conn-reset")
+                self.closed = True
+                self.transport.abort()  # RST, not FIN: mid-stream cut
+                return
+            if plan.should_fire("net-drop-frame"):
+                self.server._note_fault("net-drop-frame")
+                return  # executed, but the client never hears back
+            if not self._delaying and plan.should_fire("net-delay-frame"):
+                self.server._note_fault("net-delay-frame")
+                self._delaying = True
+                delay = plan.magnitude("net-delay-frame") or 0.05
+                asyncio.get_running_loop().call_later(delay, self._flush_outbox)
+        if self._delaying:
+            self._outbox.append(data)
+            return
+        self.transport.write(data)
+
+    def _flush_outbox(self) -> None:
+        self._delaying = False
+        out, self._outbox = self._outbox, []
+        if out and self.transport is not None and not self.transport.is_closing():
+            self.transport.write(b"".join(out))
 
     def kill(self) -> None:
         self.closed = True
@@ -159,7 +206,15 @@ class _ServerProtocol(asyncio.Protocol):
             message = self.pending.popleft()
             if server._can_inline(self.conn, message.get("op")):
                 try:
-                    out.append(encode_frame(server._serve(self.conn, message, False)))
+                    response = encode_frame(
+                        server._serve(self.conn, message, False)
+                    )
+                    if server.faults is not None:
+                        # Per-frame fault consultation; batching would
+                        # make one drop/delay decision span a burst.
+                        self._deliver(response)
+                    else:
+                        out.append(response)
                     continue
                 except WouldBlock:
                     pass
@@ -199,6 +254,7 @@ class DatabaseServer:
         obs: "Observability | None" = None,
         max_frame: int = DEFAULT_MAX_FRAME,
         autovacuum_interval: Optional[float] = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if max_connections < 1:
             raise ValueError("max_connections must be at least 1")
@@ -215,6 +271,10 @@ class DatabaseServer:
         #: disables).  Long cluster runs use this to bound version-chain
         #: growth without any client issuing VACUUM.
         self.autovacuum_interval = autovacuum_interval
+        #: Network-level fault plan (``net-drop-frame`` / ``net-delay-
+        #: frame`` / ``conn-reset``); None keeps the response path
+        #: byte-identical to the pre-chaos server.
+        self.faults = fault_plan
         self._autovacuum_task: "asyncio.Task | None" = None
         if obs is not None:
             db.install_observability(obs)
@@ -236,6 +296,12 @@ class DatabaseServer:
         ] = {}
         self._prepared_by_id: "list[PreparedStatement]" = []
         self._prepared_lock = threading.Lock()
+        # Statement ids are namespaced per server *instance*: a client
+        # still holding sids from a previous incarnation of this address
+        # (crash + restart on the same port) must get a clean "unknown
+        # statement id" error — never a silent hit on whatever statement
+        # landed on the same dense index in the new registry.
+        self._sid_base = random.SystemRandom().randrange(1 << 30)
         # Lifetime counters (kept even without an Observability installed;
         # STATS and the leak assertions read them).
         self._counters = {
@@ -247,7 +313,17 @@ class DatabaseServer:
             "sessions_closed": 0,
             "vacuum_runs": 0,
             "vacuum_pruned_total": 0,
+            "net_faults_total": 0,
         }
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """(Un)install the network fault plan; None restores clean paths."""
+        self.faults = plan
+
+    def _note_fault(self, point: str) -> None:
+        self._counters["net_faults_total"] += 1
+        if self.obs is not None:
+            self.obs.fault_injected(point)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -389,6 +465,9 @@ class DatabaseServer:
             "in_doubt_2pc": len(self.db.recovered_in_doubt),
             # Listed so a cluster coordinator can re-deliver decisions.
             "in_doubt_gtids": list(self.db.recovered_in_doubt),
+            # Live prepared gtids: the in-doubt resolver uses these to
+            # spot orphans whose coordinator died before deciding.
+            "prepared_gtids": list(self.db.prepared_gtids),
             "max_connections": self.max_connections,
             "backpressure": self.backpressure,
             # Clients gate wire-level shortcuts on the hosted engine's
@@ -677,7 +756,10 @@ class DatabaseServer:
             entry = self._prepared.get(cache_key)
             if entry is None:
                 statement = PreparedStatement(sql, kind=kind)
-                entry = (len(self._prepared_by_id), statement)
+                entry = (
+                    self._sid_base + len(self._prepared_by_id),
+                    statement,
+                )
                 self._prepared_by_id.append(statement)
                 self._prepared[cache_key] = entry
         return entry
@@ -689,9 +771,10 @@ class DatabaseServer:
         sid = msg.get("sid")
         if sid is not None:
             statements = self._prepared_by_id
-            if not isinstance(sid, int) or not 0 <= sid < len(statements):
+            index = sid - self._sid_base if isinstance(sid, int) else -1
+            if not 0 <= index < len(statements):
                 raise ProtocolError(f"unknown statement id {sid!r}")
-            return sid, statements[sid]
+            return sid, statements[index]
         kind = msg.get("kind")
         return self._statement(
             str(msg["sql"]), str(kind) if kind is not None else None

@@ -172,6 +172,33 @@ class Observability:
             "repro_net_client_rpc_seconds",
             help="Client-observed RPC round-trip time",
         )
+        # Distributed chaos / recovery instruments (DESIGN.md §13),
+        # pre-registered so the Prometheus/JSON expositions always carry
+        # the fault, reconnect and in-doubt schema even on clean runs.
+        self.faults_injected = m.counter(
+            "repro_faults_injected_total",
+            help="Faults fired by the installed FaultPlan",
+        )
+        self.net_reconnects = m.counter(
+            "repro_net_reconnects_total",
+            help="Client redials after a connection failure (idempotent ops)",
+        )
+        self.cluster_in_doubt_resolved_total = m.counter(
+            "repro_cluster_in_doubt_resolved_total",
+            help="In-doubt gtids resolved by coordinator-decision redelivery",
+        )
+        self.cluster_coordinator_crashes = m.counter(
+            "repro_cluster_coordinator_crashes_total",
+            help="Coordinator crashes inside the prepare-to-decision window",
+        )
+        self.cluster_heartbeats = m.counter(
+            "repro_cluster_heartbeats_total",
+            help="Shard heartbeat probes sent by the cluster client",
+        )
+        self.cluster_shards_unhealthy = m.gauge(
+            "repro_cluster_shards_unhealthy",
+            help="Shards currently marked unhealthy by heartbeat tracking",
+        )
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -312,6 +339,47 @@ class Observability:
             labels={"op": op, "ok": "true" if ok else "false"},
             help="RPCs served, by operation and outcome",
         ).inc()
+
+    # ------------------------------------------------------------------
+    # Chaos / cluster-recovery hooks (repro.faults + repro.cluster)
+    # ------------------------------------------------------------------
+    def fault_injected(self, point: str) -> None:
+        self.faults_injected.inc()
+        self.metrics.counter(
+            "repro_faults_injected_total",
+            labels={"point": point},
+            help="Faults fired by the installed FaultPlan, by injection point",
+        ).inc()
+
+    def net_reconnect(self, op: str) -> None:
+        self.net_reconnects.inc()
+        self.metrics.counter(
+            "repro_net_reconnects_total",
+            labels={"op": op},
+            help="Client redials after a connection failure, by operation",
+        ).inc()
+
+    def cluster_in_doubt_resolved(self, outcome: str) -> None:
+        self.cluster_in_doubt_resolved_total.inc()
+        self.metrics.counter(
+            "repro_cluster_in_doubt_resolved_total",
+            labels={"outcome": outcome},
+            help="In-doubt gtids resolved by redelivery, by outcome",
+        ).inc()
+
+    def cluster_coordinator_crash(self) -> None:
+        self.cluster_coordinator_crashes.inc()
+
+    def cluster_heartbeat(self, shard: int, ok: bool) -> None:
+        self.cluster_heartbeats.inc()
+        self.metrics.counter(
+            "repro_cluster_heartbeats_total",
+            labels={"shard": shard, "ok": "true" if ok else "false"},
+            help="Shard heartbeat probes, by shard and outcome",
+        ).inc()
+
+    def cluster_shard_health(self, unhealthy: int) -> None:
+        self.cluster_shards_unhealthy.set(unhealthy)
 
     # ------------------------------------------------------------------
     # Driver hooks (program-labelled run accounting)

@@ -75,12 +75,20 @@ class TestEnginePrepareDecide:
         with pytest.raises(TransactionStateError):
             db.commit_prepared("g1")
 
-    def test_unknown_gtid_rejected(self):
+    def test_unknown_gtid_commit_rejected_abort_presumed(self):
+        """Presumed abort: an unknown-gtid ABORT_2PC is a harmless no-op
+        (the resolver may re-deliver abort to participants that never
+        prepared), while an unknown-gtid COMMIT_2PC is always an error —
+        a commit decision requires a durable prepare to act on."""
         db = small_db()
         with pytest.raises(TransactionStateError):
             db.commit_prepared("ghost")
+        db.abort_prepared("ghost")  # no-op, not an error
+        db.abort_prepared("ghost")  # and idempotent
+        # The presumption is remembered: committing afterwards is the
+        # decision-flip error, not "unknown gtid".
         with pytest.raises(TransactionStateError):
-            db.abort_prepared("ghost")
+            db.commit_prepared("ghost")
 
     def test_gtid_reuse_rejected(self):
         db = small_db()
@@ -278,6 +286,37 @@ class TestWire2pc:
                 with conn.transaction("check") as txn:
                     assert txn.select("Checking", 1)["Balance"] != 500.0
 
+    def test_wire_decision_idempotence_presumed_abort(self):
+        """The presumed-abort contract over the wire: ABORT_2PC for a
+        gtid this shard never prepared is a harmless no-op (and stays
+        idempotent), COMMIT_2PC for it is an error, and a commit
+        decision re-delivered after ``resolve_in_doubt`` — duplicate
+        delivery included — keeps answering the same thing."""
+        with Cluster(1, customers=2) as cluster:
+            host, port = cluster.addresses[0]
+            with repro.connect(f"tcp://{host}:{port}") as conn:
+                conn.abort_2pc("never-prepared")  # presumed abort: no-op
+                conn.abort_2pc("never-prepared")  # idempotent too
+                with pytest.raises(TransactionStateError):
+                    conn.commit_2pc("never-prepared")
+
+                session = conn.session()
+                session.begin("T1")
+                session.update("Checking", 1, {"Balance": 123.0})
+                session.prepare_2pc("gdup")
+                session.close()
+                coordinator = TwoPhaseCoordinator(TimestampOracle())
+                coordinator.log.record("gdup", "commit")
+                assert (
+                    coordinator.resolve_in_doubt("gdup", [conn]) == "commit"
+                )
+                conn.commit_2pc("gdup")  # duplicate delivery
+                assert (
+                    coordinator.resolve_in_doubt("gdup", [conn]) == "commit"
+                )
+                with conn.transaction("check") as txn:
+                    assert txn.select("Checking", 1)["Balance"] == 123.0
+
 
 class _FakeParticipant:
     """Records decision deliveries; optionally unaware of the gtid."""
@@ -301,7 +340,7 @@ class _FakeParticipant:
 class TestCoordinatorResolution:
     def test_logged_commit_decision_is_redelivered(self):
         coordinator = TwoPhaseCoordinator(TimestampOracle())
-        coordinator._decisions["g1"] = "commit"
+        coordinator.log.record("g1", "commit")
         participant = _FakeParticipant()
         assert coordinator.resolve_in_doubt("g1", [participant]) == "commit"
         assert participant.calls == [("commit", "g1")]
@@ -316,6 +355,6 @@ class TestCoordinatorResolution:
 
     def test_resolution_tolerates_already_resolved_participants(self):
         coordinator = TwoPhaseCoordinator(TimestampOracle())
-        coordinator._decisions["g1"] = "abort"
+        coordinator.log.record("g1", "abort")
         participant = _FakeParticipant(known=False)
         assert coordinator.resolve_in_doubt("g1", [participant]) == "abort"

@@ -1,0 +1,418 @@
+"""Distributed robustness: injected faults, crashes, and self-healing.
+
+Covers the DESIGN.md §13 failure model end to end over real TCP shards:
+network-level injections (dropped / delayed responses, connection
+resets), coordinator crashes on both sides of the decision-log write
+with in-doubt resolution, shard crash + same-port restart with history
+salvage, heartbeat-driven shard health (demote, fail-fast, restore),
+fail-soft ``stats()``/``ping()`` against a dead shard, and a short
+seeded ``run_chaos`` soak asserting the full certification contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.chaos import ChaosConfig, build_fault_plan, run_chaos
+from repro.engine import Database, EngineConfig, Session
+from repro.errors import (
+    ConnectionClosed,
+    CoordinatorCrashed,
+    DatabaseCrashed,
+    ProtocolError,
+    ShardUnavailable,
+    TransactionStateError,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.net import DatabaseServer
+from repro.net.client import NetworkConnection
+from repro.smallbank import PopulationConfig, build_database, customer_name
+from repro.smallbank.strategies import get_strategy
+
+from tests.conftest import make_bank_db
+
+
+def wait_until(predicate, timeout=5.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def make_server(**kwargs):
+    db = build_database(
+        EngineConfig.postgres(), PopulationConfig(customers=10)
+    )
+    return DatabaseServer(db, **kwargs).start_in_thread()
+
+
+# ----------------------------------------------------------------------
+# Network-level injection points (single server, real sockets)
+# ----------------------------------------------------------------------
+class TestNetworkFaults:
+    def test_dropped_response_hits_the_rpc_deadline(self):
+        """net-drop-frame: the request executes but the ack vanishes; the
+        client's per-RPC deadline converts the silence into a fast
+        ConnectionClosed instead of an indefinite hang."""
+        server = make_server()
+        try:
+            conn = NetworkConnection(
+                "127.0.0.1", server.port, rpc_deadline=0.3
+            )
+            assert conn.ping()  # handshake + sanity before the fault
+            server.install_faults(
+                FaultPlan([FaultSpec("net-drop-frame", max_fires=1)])
+            )
+            started = time.monotonic()
+            assert not conn.ping()  # single-attempt probe: deadline, False
+            assert time.monotonic() - started < 2.0
+            assert conn.ping()  # max_fires exhausted: healthy again
+            assert server.stats()["net_faults_total"] == 1
+            conn.close()
+        finally:
+            server.shutdown()
+
+    def test_delayed_response_arrives_late_but_intact(self):
+        server = make_server()
+        try:
+            conn = NetworkConnection("127.0.0.1", server.port)
+            assert conn.ping()
+            server.install_faults(
+                FaultPlan(
+                    [FaultSpec("net-delay-frame", magnitude=0.3, max_fires=1)]
+                )
+            )
+            started = time.monotonic()
+            assert conn.ping()  # same answer, just held back
+            assert time.monotonic() - started >= 0.2
+            conn.close()
+        finally:
+            server.shutdown()
+
+    def test_conn_reset_surfaces_and_reconnect_heals(self):
+        server = make_server()
+        try:
+            conn = NetworkConnection(
+                "127.0.0.1", server.port, rpc_deadline=1.0
+            )
+            assert conn.ping()
+            server.install_faults(
+                FaultPlan([FaultSpec("conn-reset", max_fires=1)])
+            )
+            assert not conn.ping()  # RST mid-stream, single attempt
+            assert conn.ping()  # a fresh wire dials fine
+            conn.close()
+        finally:
+            server.shutdown()
+
+    def test_no_plan_keeps_the_response_path_clean(self):
+        server = make_server()
+        try:
+            assert server.faults is None
+            conn = NetworkConnection("127.0.0.1", server.port)
+            for _ in range(20):
+                assert conn.ping()
+            assert server.stats()["net_faults_total"] == 0
+            conn.close()
+        finally:
+            server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Coordinator crash window + in-doubt resolution
+# ----------------------------------------------------------------------
+class TestCoordinatorCrash:
+    def test_both_crash_flavors_resolve_from_the_decision_log(self):
+        """Two forced crashes in the in-doubt window: the first dies
+        *before* the decision-log write (recovery presumes abort), the
+        second *after* logging commit (recovery re-delivers it).  Money
+        is conserved either way."""
+        txns = get_strategy("base-si").transactions()
+        plan = FaultPlan(
+            [FaultSpec("coordinator-crash-window", max_fires=2)]
+        )
+        with Cluster(2, customers=8) as cluster:
+            initial = cluster.total_money()
+            with cluster.connect(fault_plan=plan) as conn:
+                session = conn.session()
+                # Customer ids hash to id % 2: (1, 2) and (3, 4) are both
+                # cross-shard pairs, forcing the 2PC path.
+                before_1 = txns.run(
+                    session, "Balance", {"N": customer_name(1)}
+                )
+                with pytest.raises(CoordinatorCrashed) as excinfo:
+                    txns.run(
+                        session,
+                        "Amalgamate",
+                        {"N1": customer_name(1), "N2": customer_name(2)},
+                    )
+                assert "before the decision log write" in str(excinfo.value)
+                first_gtid = session.gtid
+                outcomes = conn.resolve_in_doubt()
+                assert outcomes == {first_gtid: "abort"}
+
+                with pytest.raises(CoordinatorCrashed) as excinfo:
+                    txns.run(
+                        session,
+                        "Amalgamate",
+                        {"N1": customer_name(3), "N2": customer_name(4)},
+                    )
+                assert "after the decision log write" in str(excinfo.value)
+                second_gtid = session.gtid
+                outcomes = conn.resolve_in_doubt()
+                assert outcomes == {second_gtid: "commit"}
+
+                # Presumed abort left customer 1 untouched; the re-delivered
+                # commit drained customer 3 into 4.
+                assert (
+                    txns.run(session, "Balance", {"N": customer_name(1)})
+                    == before_1
+                )
+                assert (
+                    txns.run(session, "Balance", {"N": customer_name(3)})
+                    == 0.0
+                )
+                counters = conn.counters()
+                assert counters["coordinator_crashes"] == 2
+                assert counters["in_doubt_aborts"] == 1
+                assert counters["in_doubt_commits"] == 1
+                # A later sweep finds nothing left to settle (idempotent).
+                assert conn.resolve_in_doubt() == {}
+                session.close()
+            assert cluster.total_money() == initial
+
+    def test_background_resolver_settles_without_manual_sweeps(self):
+        plan = FaultPlan(
+            [FaultSpec("coordinator-crash-window", max_fires=1)]
+        )
+        txns = get_strategy("base-si").transactions()
+        with Cluster(2, customers=8) as cluster:
+            with cluster.connect(fault_plan=plan) as conn:
+                conn.start_in_doubt_resolver(interval=0.05)
+                session = conn.session()
+                with pytest.raises(CoordinatorCrashed):
+                    txns.run(
+                        session,
+                        "Amalgamate",
+                        {"N1": customer_name(1), "N2": customer_name(2)},
+                    )
+                gtid = session.gtid
+                wait_until(
+                    lambda: conn.coordinator.decision_for(gtid) == "abort",
+                    message="background resolver settling the orphan",
+                )
+                session.close()
+
+
+# ----------------------------------------------------------------------
+# Shard health: heartbeats, fail-fast, fail-soft introspection
+# ----------------------------------------------------------------------
+class TestShardHealth:
+    def test_stats_and_ping_survive_a_dead_shard(self):
+        """Introspection against a half-dead cluster answers fast and
+        fail-soft: the dead shard contributes an ``unreachable`` stub and
+        its health record, never an exception or a hang."""
+        with Cluster(2, customers=8) as cluster:
+            with cluster.connect(timeout=1.0, rpc_deadline=0.5) as conn:
+                assert conn.ping()
+                cluster.databases[0].crash()
+                cluster.servers[0].shutdown()
+                started = time.monotonic()
+                assert not conn.ping()  # probes all shards, no hang
+                stats = conn.stats()
+                assert time.monotonic() - started < 10.0
+                assert stats["shards"] == 2
+                assert stats["shard_stats"][0].get("unreachable") is True
+                assert "error" in stats["shard_stats"][0]
+                assert stats["shard_stats"][1]["backend"] == "network"
+                assert [h["shard"] for h in stats["shard_health"]] == [0, 1]
+
+    def test_heartbeats_demote_failfast_and_restore(self):
+        with Cluster(2, customers=8) as cluster:
+            with cluster.connect(
+                timeout=1.0, rpc_deadline=0.3, unhealthy_after=2
+            ) as conn:
+                # Without heartbeats there is no health signal and no
+                # fail-fast: every shard reads healthy.
+                assert all(h["healthy"] for h in conn.shard_health())
+                conn.start_heartbeats(interval=0.05, deadline=0.3)
+                cluster.crash_shard(0)
+                wait_until(
+                    lambda: not conn.shard_health()[0]["healthy"],
+                    message="heartbeats demoting the crashed shard",
+                )
+                # Sessions fail fast instead of dialing the dead endpoint.
+                session = conn.session()
+                with pytest.raises(ShardUnavailable):
+                    session.begin("doomed")
+                session.close()
+                cluster.restart_shard(0)
+                wait_until(
+                    lambda: conn.shard_health()[0]["healthy"],
+                    message="first successful heartbeat restoring health",
+                )
+                session = conn.session()
+                session.begin("revived")
+                session.rollback()
+                session.close()
+
+
+# ----------------------------------------------------------------------
+# Shard crash + same-port restart
+# ----------------------------------------------------------------------
+class TestShardCrashRestart:
+    def test_crash_salvages_history_and_restart_reuses_the_port(self):
+        txns = get_strategy("base-si").transactions()
+        with Cluster(2, customers=8) as cluster:
+            initial = cluster.total_money()
+            old_port = cluster.servers[0].port
+            with cluster.connect() as conn:
+                session = conn.session()
+                txns.run(
+                    session, "DepositChecking",
+                    {"N": customer_name(1), "V": 25.0},
+                )
+                txns.run(
+                    session, "Amalgamate",
+                    {"N1": customer_name(1), "N2": customer_name(2)},
+                )
+                session.close()
+                conn.flush()
+                cluster.crash_shard(0)
+                cluster.restart_shard(0)
+                assert cluster.servers[0].port == old_port
+                assert cluster.restart_count == 1
+                # Durable effects survived the crash...
+                assert cluster.total_money() == round(initial + 25.0, 2)
+                # ...and the salvaged prefix still carries the pre-crash
+                # commits for the global certification merge.
+                from repro.analysis import merge_shard_histories
+
+                report = merge_shard_histories(cluster.histories())
+                assert report.serializable
+                histories = cluster.histories()
+                assert any(len(h) > 0 for h in histories.values())
+
+    def test_restart_requires_a_crash(self):
+        with Cluster(2, customers=4) as cluster:
+            with pytest.raises(TransactionStateError, match="not crashed"):
+                cluster.restart_shard(0)
+
+    def test_stale_statement_ids_heal_after_restart(self):
+        """Sids are namespaced per server instance: after a crash+restart
+        a cached sid must surface as a transient ConnectionClosed (and
+        flush the cache) — never a hard ProtocolError, never a silent
+        hit on the wrong statement."""
+        txns = get_strategy("base-si").transactions()
+        with Cluster(2, customers=8) as cluster:
+            with cluster.connect(timeout=2.0, rpc_deadline=1.0) as conn:
+                session = conn.session()
+                # Customer 2 hashes to shard 0 — the one we crash below,
+                # so the learnt sids really do go stale.
+                args = {"N": customer_name(2), "V": 5.0}
+                txns.run(session, "DepositChecking", args)  # learn sids
+                session.close()
+                cluster.crash_shard(0)
+                cluster.restart_shard(0)
+                for attempt in range(6):
+                    session = conn.session()
+                    try:
+                        txns.run(session, "DepositChecking", args)
+                        break
+                    except ConnectionClosed:
+                        continue  # broken wire or invalidated sid: retry
+                    except ProtocolError as exc:  # pragma: no cover
+                        pytest.fail(f"stale sid escaped as {exc!r}")
+                    finally:
+                        session.close()
+                else:  # pragma: no cover
+                    pytest.fail("deposit never succeeded after restart")
+
+
+# ----------------------------------------------------------------------
+# Engine: crash wakes blocked lock waiters (hang regression)
+# ----------------------------------------------------------------------
+class TestCrashWakesWaiters:
+    def test_crash_wakes_a_blocked_lock_waiter(self):
+        """A thread blocked on a row lock must observe the crash promptly
+        (DatabaseCrashed), not sleep forever on a resolution callback the
+        vanished holder can no longer fire."""
+        db = make_bank_db()  # no lock timeout: waits are unbounded
+        holder = Session(db)
+        holder.begin("holder")
+        holder.update("Saving", 1, {"Balance": 1.0})
+
+        outcome: dict = {}
+
+        def blocked_writer() -> None:
+            s = Session(db)
+            s.begin("waiter")
+            try:
+                s.update("Saving", 1, {"Balance": 2.0})
+                outcome["result"] = "acquired"
+            except DatabaseCrashed:
+                outcome["result"] = "crashed"
+            except Exception as exc:  # pragma: no cover
+                outcome["result"] = repr(exc)
+
+        thread = threading.Thread(target=blocked_writer, daemon=True)
+        thread.start()
+        wait_until(
+            lambda: len(db.active_transactions) == 2,
+            timeout=2.0,
+            message="waiter's transaction becoming active",
+        )
+        time.sleep(0.1)  # let the waiter actually park on its event
+        db.crash()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "crash did not wake the lock waiter"
+        assert outcome["result"] == "crashed"
+
+
+# ----------------------------------------------------------------------
+# The seeded soak (short configuration of the CI gate)
+# ----------------------------------------------------------------------
+class TestChaosSoak:
+    def test_short_soak_certifies(self):
+        config = ChaosConfig(
+            shards=2,
+            customers=16,
+            mpl=4,
+            duration=1.0,
+            seed=7,
+            crash_after_polls=4,
+            shard_downtime=0.2,
+            coordinator_crashes=1,
+        )
+        result = run_chaos(config)
+        assert result.serializable
+        assert result.ledger_conserved
+        assert result.in_doubt_after_recovery == 0
+        assert result.ok
+        assert result.counters["shard_restarts"] == result.counters[
+            "shard_crashes"
+        ]
+        record = result.to_record()
+        assert record["benchmark"] == "chaos_cluster"
+        assert record["checks"]["serializable"] is True
+        assert record["checks"]["ledger_conserved"] is True
+        assert record["checks"]["in_doubt_after_recovery"] == 0
+        assert record["final_money"] == record["initial_money"]
+
+    def test_fault_plan_covers_every_distributed_point(self):
+        plan = build_fault_plan(ChaosConfig())
+        for point in (
+            "net-drop-frame",
+            "net-delay-frame",
+            "net-dup-decision",
+            "conn-reset",
+            "shard-crash",
+            "coordinator-crash-window",
+        ):
+            assert plan.covers(point)

@@ -138,11 +138,10 @@ class TestFastPath:
                     )
                 finally:
                     session.close()
-                assert conn.counters() == {
-                    "fastpath_commits": 1,
-                    "twopc_commits": 0,
-                    "twopc_aborts": 0,
-                }
+                counters = conn.counters()
+                assert counters["fastpath_commits"] == 1
+                assert counters["twopc_commits"] == 0
+                assert counters["twopc_aborts"] == 0
 
     def test_cross_shard_amalgamate_uses_2pc(self):
         """Customers 1 (shard 1) and 2 (shard 0): two writing branches."""

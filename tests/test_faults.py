@@ -97,7 +97,22 @@ class TestFaultPlan:
             "wal-stall",
             "client-death",
             "lock-timeout",
+            "net-drop-frame",
+            "net-delay-frame",
+            "net-dup-decision",
+            "conn-reset",
+            "shard-crash",
+            "coordinator-crash-window",
         }
+
+    def test_fired_counts_injections(self) -> None:
+        plan = FaultPlan([FaultSpec("shard-crash", max_fires=2)])
+        assert plan.fired("shard-crash") == 0
+        assert plan.should_fire("shard-crash")
+        assert plan.fired("shard-crash") == 1
+        assert plan.should_fire("shard-crash")
+        assert not plan.should_fire("shard-crash")  # max_fires reached
+        assert plan.fired("shard-crash") == 2
 
 
 # ----------------------------------------------------------------------

@@ -104,6 +104,33 @@ class TestFramingViolations:
         with pytest.raises(ProtocolError):
             decoder.feed(encode_frame({"op": "PING"}))
 
+    def test_eof_mid_frame_is_deterministic_connection_closed(self):
+        """A peer dying mid-frame surfaces as ConnectionClosed — never a
+        hang waiting for bytes that will not come, never a partial op —
+        and poisons the decoder so a late feed cannot quietly resume and
+        misparse the stream."""
+        frame = encode_frame({"op": "PING"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:7]) == []  # prefix + truncated payload
+        with pytest.raises(ConnectionClosed, match="mid-frame"):
+            decoder.feed_eof()
+        with pytest.raises(ConnectionClosed):
+            decoder.feed(frame[7:])  # poisoned: the late bytes are dead
+
+    def test_eof_inside_length_prefix_is_connection_closed(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"\x00\x00") == []  # 2 of the 4 length bytes
+        with pytest.raises(ConnectionClosed):
+            decoder.feed_eof()
+
+    def test_eof_at_frame_boundary_is_clean(self):
+        """EOF between frames is an orderly shutdown: no error, and the
+        decoder stays usable (tests reuse it; real wires do not)."""
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame({"op": "PING"})) == [{"op": "PING"}]
+        decoder.feed_eof()  # no buffered bytes: no-op
+        assert decoder.feed(encode_frame({"op": "PING"})) == [{"op": "PING"}]
+
     def test_max_frame_is_configurable_at_the_boundary(self):
         """A payload of exactly ``max_frame`` bytes decodes; one byte more
         is rejected by an otherwise identical decoder."""
