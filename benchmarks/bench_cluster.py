@@ -3,7 +3,11 @@
 For each shard count the same closed-system :class:`ThreadedDriver` run
 (uniform five-program SmallBank mix, so ~20 % Amalgamates generate
 cross-shard traffic) is driven through the shard router against an
-in-process :class:`~repro.cluster.Cluster`.  Each point reports:
+in-process :class:`~repro.cluster.Cluster` — or, with ``--procs``,
+against a multi-process :class:`~repro.cluster.ShardFleet` (one OS
+process per shard) driven by several load-generator subprocesses, so
+neither the servers nor the clients share a GIL and TPS can actually
+scale with shard count on a multi-core host.  Each point reports:
 
 * **TPS** and aborts at the fixed MPL,
 * the **fast-path ratio** — the fraction of commits that were
@@ -37,11 +41,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
+import subprocess
+import sys
 import time
 from pathlib import Path
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, ShardFleet
 from repro.smallbank import get_strategy
 from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
 
@@ -55,6 +62,12 @@ SMOKE_MPL = 4
 CUSTOMERS = 100
 MIX = "uniform"
 STRATEGY = "base-si"
+#: Load-generator subprocesses per multiproc measurement point; the MPL
+#: is split across them so client-side work doesn't serialize on one GIL.
+LOADGENS = 4
+#: Each loadgen leases gtids from a disjoint base so cross-process gtids
+#: can never collide (labels stay ``g<digits>`` for the merged MVSG).
+GTID_STRIDE = 10**9
 
 
 def _driver_config(mpl: int, duration: float) -> ThreadedDriverConfig:
@@ -98,7 +111,136 @@ def measure_shards(shard_count: int, mpl: int, duration: float) -> dict:
     }
 
 
-def measure_2pc_overhead(iterations: int, shard_count: int = 2) -> dict:
+def _loadgen(args) -> int:
+    """Hidden ``--loadgen`` mode: one client subprocess of a multiproc
+    measurement point.  Drives the standard mix against an existing
+    fleet and prints its slice of the results as one RESULT line."""
+    from repro.cluster import ClusterConnection
+
+    addresses = [
+        (host, int(port))
+        for host, port in (
+            hostport.rsplit(":", 1)
+            for hostport in args.url[len("cluster://") :].split(",")
+        )
+    ]
+    conn = ClusterConnection(
+        addresses, url=args.url, gtid_base=args.gtid_base
+    )
+    try:
+        config = ThreadedDriverConfig(
+            mpl=args.mpl,
+            customers=CUSTOMERS,
+            hotspot=10,
+            mix=MIX,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        stats = ThreadedDriver(
+            None, get_strategy(STRATEGY).transactions(), config,
+            connection=conn,
+        ).run()
+        conn.flush()
+        counters = conn.counters()
+    finally:
+        conn.close()
+    print(
+        "RESULT "
+        + json.dumps(
+            {
+                "tps": stats.tps,
+                "commits": stats.total_commits,
+                "aborts": stats.abort_count(),
+                "counters": counters,
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    return 0
+
+
+def measure_shards_multiproc(
+    shard_count: int, mpl: int, duration: float
+) -> dict:
+    """One multiproc measurement point: ``shard_count`` server processes
+    plus :data:`LOADGENS` client subprocesses splitting the MPL."""
+    loadgens = min(LOADGENS, mpl)
+    shares = [
+        mpl // loadgens + (1 if i < mpl % loadgens else 0)
+        for i in range(loadgens)
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with ShardFleet(
+        shard_count, customers=CUSTOMERS, isolation="si", record=False
+    ) as fleet:
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    __file__,
+                    "--loadgen",
+                    "--url",
+                    fleet.url,
+                    "--loadgen-mpl",
+                    str(share),
+                    "--duration",
+                    str(duration),
+                    "--seed",
+                    str(7 + i),
+                    "--gtid-base",
+                    str((i + 1) * GTID_STRIDE),
+                ],
+                stdout=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for i, share in enumerate(shares)
+        ]
+        results = []
+        for proc in procs:
+            out, _ = proc.communicate(timeout=duration * 20 + 120)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"loadgen exited {proc.returncode}; output: {out!r}"
+                )
+            for line in out.splitlines():
+                if line.startswith("RESULT "):
+                    results.append(json.loads(line[len("RESULT ") :]))
+                    break
+            else:
+                raise RuntimeError(f"no RESULT line in loadgen output: {out!r}")
+    if fleet.alive_count or fleet.kill_count:
+        raise RuntimeError(
+            f"shard process leak: {fleet.alive_count} alive, "
+            f"{fleet.kill_count} force-killed"
+        )
+    counters = {
+        key: sum(result["counters"].get(key, 0) for result in results)
+        for key in results[0]["counters"]
+    }
+    decided = (
+        counters["fastpath_commits"]
+        + counters["twopc_commits"]
+        + counters["twopc_aborts"]
+    )
+    return {
+        "tps": round(sum(result["tps"] for result in results), 1),
+        "aborts": sum(result["aborts"] for result in results),
+        "counters": counters,
+        "loadgens": loadgens,
+        "fastpath_ratio": round(
+            counters["fastpath_commits"] / decided, 4
+        ) if decided else 1.0,
+    }
+
+
+def measure_2pc_overhead(
+    iterations: int, shard_count: int = 2, *, procs: bool = False
+) -> dict:
     """Paired per-transaction latency: fast path vs cross-shard 2PC.
 
     Customer 1 lives on shard 1 and customer 2 on shard 0 (modular map),
@@ -108,7 +250,14 @@ def measure_2pc_overhead(iterations: int, shard_count: int = 2) -> dict:
     """
     fast: "list[float]" = []
     twopc: "list[float]" = []
-    with Cluster(shard_count, customers=CUSTOMERS, isolation="si") as cluster:
+    cluster_factory = (
+        (lambda: ShardFleet(
+            shard_count, customers=CUSTOMERS, isolation="si", record=False
+        ))
+        if procs
+        else (lambda: Cluster(shard_count, customers=CUSTOMERS, isolation="si"))
+    )
+    with cluster_factory() as cluster:
         conn = cluster.connect()
         try:
             session = conn.session()
@@ -142,15 +291,21 @@ def measure_2pc_overhead(iterations: int, shard_count: int = 2) -> dict:
 
 
 def run_curve(
-    shards: "tuple[int, ...]", mpl: int, duration: float, rounds: int = 3
+    shards: "tuple[int, ...]",
+    mpl: int,
+    duration: float,
+    rounds: int = 3,
+    *,
+    procs: bool = False,
 ) -> dict:
     """Median-of-rounds TPS per shard count, rounds interleaved so
     machine-wide noise hits every shard count equally."""
+    measure = measure_shards_multiproc if procs else measure_shards
     samples: dict = {str(s): [] for s in shards}
     for _ in range(rounds):
         for shard_count in shards:
             samples[str(shard_count)].append(
-                measure_shards(shard_count, mpl, duration)
+                measure(shard_count, mpl, duration)
             )
     out: dict = {"mpl": mpl, "rounds": rounds, "points": {}}
     for shard_count in shards:
@@ -223,19 +378,42 @@ def main(argv: "list[str] | None" = None) -> int:
         "--no-json", action="store_true",
         help="skip appending to BENCH_cluster.json",
     )
+    parser.add_argument(
+        "--procs", action="store_true",
+        help="multi-process mode: one OS process per shard, MPL split "
+        "across loadgen subprocesses",
+    )
+    # Hidden plumbing for the multiproc mode's client subprocesses.
+    parser.add_argument("--loadgen", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--url", default="", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--loadgen-mpl", type=int, default=2, help=argparse.SUPPRESS
+    )
+    parser.add_argument("--seed", type=int, default=7, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--gtid-base", type=int, default=0, help=argparse.SUPPRESS
+    )
     args = parser.parse_args(argv)
+
+    if args.loadgen:
+        args.mpl = args.loadgen_mpl
+        args.duration = args.duration or 1.0
+        return _loadgen(args)
 
     shards = SMOKE_SHARDS if args.smoke else SHARDS
     mpl = SMOKE_MPL if args.smoke else MPL
     duration = args.duration or (0.6 if args.smoke else 1.5)
     rounds = 3
     overhead_iterations = 100 if args.smoke else 400
+    cores = os.cpu_count() or 1
+    process_model = "multiproc" if args.procs else "inproc"
 
     print(
-        f"== SmallBank {MIX} TPS vs shard count, MPL {mpl} "
-        f"({duration:.1f}s/point, median of {rounds} interleaved rounds) =="
+        f"== SmallBank {MIX} TPS vs shard count, MPL {mpl}, {process_model} "
+        f"({duration:.1f}s/point, median of {rounds} interleaved rounds, "
+        f"{cores} cores) =="
     )
-    curve = run_curve(shards, mpl, duration, rounds=rounds)
+    curve = run_curve(shards, mpl, duration, rounds=rounds, procs=args.procs)
     failures = 0
     for shard_count in shards:
         point = curve["points"][str(shard_count)]
@@ -257,8 +435,32 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"FAIL: no cross-shard traffic at {shard_count} shards")
             failures += 1
 
+    # Scaling gate.  Sharding only buys real parallelism when there are
+    # cores for the shard processes to land on, so the monotonic-TPS
+    # requirement is enforced on multi-core hosts (CI runners); a single
+    # core can only check that fan-out overhead didn't regress TPS badly.
+    points = [curve["points"][str(s)]["tps"] for s in shards]
+    if args.procs and cores >= 2:
+        if len(points) > 1 and points[1] < 1.15 * points[0]:
+            print(
+                f"FAIL: 2-shard TPS {points[1]:.0f} < 1.15x "
+                f"1-shard TPS {points[0]:.0f}"
+            )
+            failures += 1
+        for prev, nxt, count in zip(points[1:], points[2:], shards[2:]):
+            if nxt < prev:
+                print(f"FAIL: TPS fell from {prev:.0f} to {nxt:.0f} "
+                      f"at {count} shards")
+                failures += 1
+    elif len(points) > 1 and points[1] < 0.5 * points[0]:
+        print(
+            f"FAIL: 2-shard TPS {points[1]:.0f} regressed below 0.5x "
+            f"1-shard TPS {points[0]:.0f} (single-core guard)"
+        )
+        failures += 1
+
     print("== 2PC overhead (paired single-shard vs cross-shard commits) ==")
-    overhead = measure_2pc_overhead(overhead_iterations)
+    overhead = measure_2pc_overhead(overhead_iterations, procs=args.procs)
     print(
         f"  fast path {overhead['fastpath_us']:7.1f}us   "
         f"2PC {overhead['twopc_us']:7.1f}us   "
@@ -273,6 +475,8 @@ def main(argv: "list[str] | None" = None) -> int:
             {
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
                 "mode": "smoke" if args.smoke else "full",
+                "process_model": process_model,
+                "cores": cores,
                 "mix": MIX,
                 "strategy": STRATEGY,
                 "curve": curve,

@@ -56,7 +56,12 @@ from repro.analysis.mvsg import (
 from repro.analysis.recorder import (
     CommittedTransaction,
     ExecutionRecorder,
+    committed_from_dict,
+    committed_to_dict,
+    dump_history_jsonl,
+    load_history_jsonl,
     record_database,
+    salvage_durable_history,
 )
 
 __all__ = [
@@ -76,15 +81,20 @@ __all__ = [
     "check_history",
     "check_history_text",
     "classify_cycle",
+    "committed_from_dict",
+    "committed_to_dict",
+    "dump_history_jsonl",
     "extract_smallbank_specs",
     "extract_spec",
     "extracted_smallbank_program_set",
     "find_cycle_in",
     "footprint_signature",
     "global_id",
+    "load_history_jsonl",
     "merge_shard_histories",
     "merge_specs",
     "parse_history",
     "record_database",
+    "salvage_durable_history",
     "split_label",
 ]

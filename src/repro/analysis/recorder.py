@@ -108,3 +108,132 @@ class ExecutionRecorder:
 def record_database(db: Database) -> ExecutionRecorder:
     """Convenience: create a recorder and attach it to ``db``."""
     return ExecutionRecorder().attach(db)
+
+
+# ----------------------------------------------------------------------
+# Durable-horizon salvage (shared by the in-process Cluster and the
+# fleet's shard processes — DESIGN.md §13, §14.1)
+# ----------------------------------------------------------------------
+def salvage_durable_history(
+    db: Database,
+    recorder: ExecutionRecorder,
+    *,
+    txid_offset: int = 0,
+) -> "list[CommittedTransaction]":
+    """The recorder's history truncated to the crashed WAL's durable horizon.
+
+    Call on a *crashed* database.  The recorder observes a commit when
+    the status flips, which happens before the group-commit WAL sync — a
+    crash can therefore revoke the durability of the newest recorded
+    write commits.  Writes past the horizon are dropped (their
+    committers saw :class:`~repro.errors.DatabaseCrashed` from the
+    sync), and so are read-only commits that *observed* a revoked
+    version — their reads would otherwise be misattributed to
+    post-restart writers, whose timestamps reuse the crashed clock's
+    lost range.  ``txid_offset`` shifts the salvaged txids into a
+    disjoint per-crash epoch range: recovery restarts the txid counter
+    at 0 and the MVSG keys nodes by txid.
+    """
+    from dataclasses import replace
+
+    horizon = max(
+        (record.commit_ts for record in db.wal.durable_records),
+        default=0,
+    )
+    salvaged: "list[CommittedTransaction]" = []
+    for txn in recorder.committed:
+        if txn.is_read_only:
+            if any(version_ts > horizon for _row, version_ts in txn.reads):
+                continue
+        elif txn.commit_ts > horizon:
+            continue
+        salvaged.append(
+            replace(txn, txid=txn.txid + txid_offset) if txid_offset else txn
+        )
+    return salvaged
+
+
+# ----------------------------------------------------------------------
+# History serialisation (JSONL) — how a fleet shard process ships its
+# committed footprints back to the parent for the global MVSG merge.
+# ----------------------------------------------------------------------
+def committed_to_dict(txn: CommittedTransaction) -> dict:
+    """JSON-safe dict for one committed footprint (tuples become lists)."""
+    return {
+        "txid": txn.txid,
+        "label": txn.label,
+        "start_ts": txn.start_ts,
+        "snapshot_ts": txn.snapshot_ts,
+        "commit_ts": txn.commit_ts,
+        "reads": [
+            [[table, key], version_ts]
+            for (table, key), version_ts in txn.reads
+        ],
+        "writes": [[table, key] for table, key in txn.writes],
+        "cc_writes": [[table, key] for table, key in txn.cc_writes],
+        "predicate_reads": [
+            {
+                "table": p.table,
+                "description": p.description,
+                "matched_keys": list(p.matched_keys),
+            }
+            for p in txn.predicate_reads
+        ],
+    }
+
+
+def committed_from_dict(data: dict) -> CommittedTransaction:
+    """Inverse of :func:`committed_to_dict`.
+
+    SmallBank row keys are scalars (str / int), which JSON round-trips
+    by type — so ``(table, key)`` row ids reconstruct exactly.
+    """
+    return CommittedTransaction(
+        txid=data["txid"],
+        label=data["label"],
+        start_ts=data["start_ts"],
+        snapshot_ts=data["snapshot_ts"],
+        commit_ts=data["commit_ts"],
+        reads=tuple(
+            ((table, key), version_ts)
+            for (table, key), version_ts in data["reads"]
+        ),
+        writes=tuple((table, key) for table, key in data["writes"]),
+        cc_writes=tuple((table, key) for table, key in data["cc_writes"]),
+        predicate_reads=tuple(
+            PredicateRead(
+                table=p["table"],
+                description=p["description"],
+                matched_keys=tuple(p["matched_keys"]),
+            )
+            for p in data["predicate_reads"]
+        ),
+    )
+
+
+def dump_history_jsonl(
+    path, committed: "tuple[CommittedTransaction, ...] | list[CommittedTransaction]"
+) -> int:
+    """Write committed footprints to ``path``, one JSON object per line."""
+    import json
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for txn in committed:
+            handle.write(json.dumps(committed_to_dict(txn), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_history_jsonl(path) -> "tuple[CommittedTransaction, ...]":
+    """Inverse of :func:`dump_history_jsonl`."""
+    import json
+
+    committed: "list[CommittedTransaction]" = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                committed.append(committed_from_dict(json.loads(line)))
+    return tuple(committed)

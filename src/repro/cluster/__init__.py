@@ -19,6 +19,7 @@ prints its ``cluster://`` URL.
 
 from repro.cluster.chaos import ChaosConfig, ChaosResult, run_chaos
 from repro.cluster.coordinator import DecisionLog, TwoPhaseCoordinator
+from repro.cluster.fleet import ProcessCluster, ShardFleet, ShardProcess
 from repro.cluster.oracle import TimestampOracle
 from repro.cluster.partition import (
     PARTITION_COLUMNS,
@@ -41,7 +42,10 @@ __all__ = [
     "DecisionLog",
     "HashPartitioner",
     "PARTITION_COLUMNS",
+    "ProcessCluster",
+    "ShardFleet",
     "ShardHealth",
+    "ShardProcess",
     "TimestampOracle",
     "TwoPhaseCoordinator",
     "build_shard_database",

@@ -29,6 +29,12 @@ coordinator crashes over ≥ 2 shards at MPL 8, then recovery to a fixed
 point.  Exits non-zero unless the merged MVSG is acyclic, the ledger is
 exactly conserved, and zero transactions remain in doubt.  Writes the
 result record to ``BENCH_chaos_cluster.json`` (``--out`` overrides).
+
+``--procs`` switches any of the above from the in-process
+:class:`~repro.cluster.Cluster` to the multi-process
+:class:`~repro.cluster.ProcessCluster` — one OS process per shard, real
+parallelism on multi-core hosts.  Under ``--chaos-smoke`` the
+certification then also requires that no shard process is orphaned.
 """
 
 from __future__ import annotations
@@ -103,6 +109,7 @@ def _chaos_smoke(args) -> int:
         seed=args.seed,
         isolation=args.isolation,
         strategy=args.strategy,
+        process_model="multiproc" if args.procs else "inproc",
     )
     result = run_chaos(config)
     record = result.to_record()
@@ -143,6 +150,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "--chaos-smoke", action="store_true",
         help="seeded fault soak (shard + coordinator crashes), certify, exit",
     )
+    parser.add_argument(
+        "--procs", action="store_true",
+        help="one OS process per shard (multi-process fleet) instead of "
+        "in-process servers",
+    )
     parser.add_argument("--mpl", type=int, default=4)
     parser.add_argument(
         "--duration", type=float, default=None,
@@ -165,29 +177,53 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.chaos_smoke:
         return _chaos_smoke(args)
 
-    cluster = Cluster(
-        args.shards,
-        customers=args.customers,
-        isolation=args.isolation,
-        autovacuum_interval=args.autovacuum,
-    )
+    if args.procs:
+        from repro.cluster.fleet import ProcessCluster
+
+        cluster = ProcessCluster(
+            args.shards,
+            customers=args.customers,
+            isolation=args.isolation,
+            autovacuum_interval=args.autovacuum,
+        )
+    else:
+        cluster = Cluster(
+            args.shards,
+            customers=args.customers,
+            isolation=args.isolation,
+            autovacuum_interval=args.autovacuum,
+        )
     try:
         ports = " ".join(str(port) for _host, port in cluster.addresses)
         print(f"LISTENING {ports}", flush=True)
         print(f"CLUSTER {cluster.url}", flush=True)
         if args.smoke:
-            return _smoke(
+            code = _smoke(
                 cluster,
                 args.mpl,
                 1.0 if args.duration is None else args.duration,
                 args.strategy,
                 args.customers,
             )
+            if args.procs:
+                cluster.shutdown()
+                if cluster.fleet.alive_count or cluster.fleet.kill_count:
+                    print(
+                        "FAIL orphaned or force-killed shard processes",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    return 1
+            return code
         try:
             sys.stdin.read()  # block until the parent closes our stdin
         except KeyboardInterrupt:
             pass
-        stats = [server.stats() for server in cluster.servers]
+        if args.procs:
+            cluster.shutdown()  # children print STATS as they drain
+            stats = [shard.stats for shard in cluster.fleet.shards]
+        else:
+            stats = [server.stats() for server in cluster.servers]
         print(f"STATS {json.dumps(stats, sort_keys=True)}", flush=True)
         return 0
     finally:

@@ -63,6 +63,11 @@ class ChaosConfig:
     seed: int = 11
     isolation: str = "si"
     strategy: str = "promote-all"
+    #: ``"inproc"`` runs every shard server inside this interpreter
+    #: (:class:`~repro.cluster.router.Cluster`); ``"multiproc"`` launches
+    #: one OS process per shard (:class:`~repro.cluster.fleet.ProcessCluster`)
+    #: and drives crash/recovery over the control channel.
+    process_model: str = "inproc"
     #: Fraction of transactions that are read-mostly Balance checks; the
     #: rest are cross-shard-capable Amalgamates (the 2PC drivers).
     balance_fraction: float = 0.4
@@ -109,15 +114,20 @@ class ChaosResult:
     shard_restarts: int = 0
     global_transactions: int = 0
     cross_shard_transactions: int = 0
+    #: Shard child processes still alive after shutdown (multiproc only;
+    #: always 0 inproc).  Any non-zero value is a process-leak bug.
+    orphan_processes: int = 0
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
-        """The CI gate: serializable, conserved, nothing left in doubt."""
+        """The CI gate: serializable, conserved, nothing left in doubt,
+        no shard process left behind."""
         return (
             self.serializable
             and self.ledger_conserved
             and self.in_doubt_after_recovery == 0
+            and self.orphan_processes == 0
         )
 
     def to_record(self) -> dict:
@@ -141,6 +151,8 @@ class ChaosResult:
             "shard_restarts": self.shard_restarts,
             "global_transactions": self.global_transactions,
             "cross_shard_transactions": self.cross_shard_transactions,
+            "process_model": self.config.process_model,
+            "orphan_processes": self.orphan_processes,
             "report": self.report_description,
             "elapsed": round(self.elapsed, 3),
         }
@@ -285,17 +297,46 @@ def _chaos_controller(
             counters["shard_restarts"] += 1
 
 
-def _pending_2pc_gtids(cluster: Cluster) -> "set[str]":
+def _pending_2pc_gtids(cluster) -> "set[str]":
     """Every gtid still prepared or in doubt anywhere in the cluster."""
-    pending: "set[str]" = set()
-    for db in cluster.databases:
-        pending.update(db.recovered_in_doubt)
-        pending.update(db.prepared_gtids)
-    return pending
+    return cluster.pending_2pc_gtids()
+
+
+def _build_cluster(config: ChaosConfig, *, obs=None):
+    """The cluster under test, per :attr:`ChaosConfig.process_model`."""
+    if config.process_model == "multiproc":
+        from repro.cluster.fleet import ProcessCluster
+
+        return ProcessCluster(
+            config.shards,
+            customers=config.customers,
+            isolation=config.isolation,
+            seed=config.seed,
+            obs=obs,
+        )
+    if config.process_model != "inproc":
+        raise ValueError(
+            f"unknown process_model {config.process_model!r}; "
+            "known: inproc, multiproc"
+        )
+    return Cluster(
+        config.shards,
+        customers=config.customers,
+        isolation=config.isolation,
+        seed=config.seed,
+    )
 
 
 def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
-    """One full soak: storm, recover to a fixed point, certify."""
+    """One full soak: storm, recover to a fixed point, certify.
+
+    With ``process_model="multiproc"`` the shard servers run as child
+    processes: engine/server fault points fire from each child's own
+    rebuilt copy of the plan (same seed, independent draw sequences), so
+    :attr:`ChaosResult.fault_injections` only counts parent-side points
+    (decision duplication, coordinator crashes, shard-crash scheduling);
+    the certification checks gain "no orphaned shard processes".
+    """
     from repro.analysis import merge_shard_histories
 
     plan = build_fault_plan(config)
@@ -313,12 +354,8 @@ def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
     }
     lock = threading.Lock()
     started = time.monotonic()
-    with Cluster(
-        config.shards,
-        customers=config.customers,
-        isolation=config.isolation,
-        seed=config.seed,
-    ) as cluster:
+    cluster = _build_cluster(config, obs=obs)
+    try:
         initial_money = cluster.total_money()
         cluster.install_faults(plan)
         connection = cluster.connect(
@@ -356,9 +393,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
                 worker.join(timeout=30.0)
             controller.join(timeout=30.0)
             # --- recovery to a fixed point ----------------------------
-            for shard, db in enumerate(cluster.databases):
-                if db.is_crashed:  # pragma: no cover - controller restarts
-                    cluster.restart_shard(shard)
+            cluster.recover_crashed()  # controller normally restarts all
             deadline = time.monotonic() + config.recovery_deadline
             while True:
                 _quiet(connection.resolve_in_doubt)
@@ -376,7 +411,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
         distributed = sum(
             1 for txn in report.transactions.values() if txn.is_distributed
         )
-        return ChaosResult(
+        result = ChaosResult(
             config=config,
             serializable=report.serializable,
             ledger_conserved=final_money == initial_money,
@@ -397,3 +432,9 @@ def run_chaos(config: ChaosConfig = ChaosConfig(), *, obs=None) -> ChaosResult:
             cross_shard_transactions=distributed,
             elapsed=time.monotonic() - started,
         )
+    finally:
+        cluster.shutdown()
+    if config.process_model == "multiproc":
+        result.orphan_processes = cluster.fleet.alive_count
+        result.counters["forced_kills"] = cluster.fleet.kill_count
+    return result

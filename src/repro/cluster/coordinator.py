@@ -41,6 +41,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from repro.cluster.fanout import FanOutPool, Outcome, first_error
 from repro.cluster.oracle import TimestampOracle
 from repro.errors import (
     CoordinatorCrashed,
@@ -104,9 +105,14 @@ class TwoPhaseCoordinator:
         decision_log: "Optional[DecisionLog]" = None,
         fault_plan: "FaultPlan | None" = None,
         obs: "Observability | None" = None,
+        fanout: "FanOutPool | None" = None,
     ) -> None:
         self.oracle = oracle
         self.decision_hook = decision_hook
+        #: Optional shared fan-out pool: prepares and decision deliveries
+        #: broadcast concurrently across shards when set, serially when
+        #: not (stand-alone coordinators in unit tests stay single-file).
+        self.fanout = fanout
         #: Durable decision store — shareable across coordinator
         #: incarnations (coordinator recovery hands the same log to a
         #: fresh instance).
@@ -131,32 +137,61 @@ class TwoPhaseCoordinator:
         with self._lock:
             return frozenset(self._in_flight)
 
+    def _broadcast(self, tasks, *, op: str) -> "list[Outcome]":
+        """Run per-participant tasks via the fan-out pool (or serially).
+
+        Either way every task runs to completion and outcomes come back
+        positionally — 2PC must gather *all* votes even when the first
+        one is already a NO.
+        """
+        if self.fanout is not None:
+            return self.fanout.run(tasks, op=op)
+        return [FanOutPool._invoke(task) for task in tasks]
+
     def commit_two_phase(self, gtid: str, writers: Sequence) -> None:
         """Atomically commit ``writers`` (network sessions) under ``gtid``.
 
-        Raises the first NO vote's error after rolling the already
-        prepared branches back.  Decision delivery errors (a participant
-        crashing *after* the decision was recorded) are re-raised once
-        every reachable participant has been told — the decision stands
-        and recovery re-delivers it to the rest.
+        Phase 1 fans PREPARE out to every writer concurrently (when a
+        pool is installed) and gathers *all* votes; any NO aborts the
+        branches that voted YES and raises the first error in shard
+        order, so presumed-abort semantics are unchanged — a branch that
+        prepared after the decision fell is an orphan the resolver
+        settles from the (already "abort"-recorded) decision log.
+        Decision delivery errors (a participant crashing *after* the
+        decision was recorded) are re-raised once every reachable
+        participant has been told — the decision stands and recovery
+        re-delivers it to the rest.
         """
         plan = self.faults
         with self._lock:
             self._in_flight.add(gtid)
         try:
-            prepared = []
-            try:
-                for branch in writers:
-                    branch.prepare_2pc(gtid)
-                    prepared.append(branch)
-            except BaseException:
+            writers = list(writers)
+            votes = self._broadcast(
+                [
+                    (lambda b=branch: b.prepare_2pc(gtid))
+                    for branch in writers
+                ],
+                op="2pc-prepare",
+            )
+            prepared = [
+                branch for branch, vote in zip(writers, votes) if vote.ok
+            ]
+            no_vote = first_error(votes)
+            if no_vote is not None:
                 self.log.record(gtid, "abort")
-                for branch in prepared:
+
+                def quiet_abort(branch) -> None:
                     try:
                         branch.abort_2pc(gtid)
                     except ReproError:
                         pass  # recovery presumes abort for us
-                raise
+
+                self._broadcast(
+                    [(lambda b=branch: quiet_abort(b)) for branch in prepared],
+                    op="2pc-abort",
+                )
+                raise no_vote
             if plan is not None and plan.should_fire("coordinator-crash-window"):
                 # The protocol's in-doubt window: every vote is YES, no
                 # participant has heard a decision.  Alternate fires die
@@ -176,22 +211,36 @@ class TwoPhaseCoordinator:
                     gtid=gtid,
                 )
             self.log.record(gtid, "commit")
-            delivery_error: Optional[BaseException] = None
+
+            def deliver(branch) -> None:
+                branch.commit_2pc(gtid)
+                if plan is not None and plan.should_fire("net-dup-decision"):
+                    if self.obs is not None:
+                        self.obs.fault_injected("net-dup-decision")
+                    branch.commit_2pc(gtid)  # idempotent by contract
+
+            # The decision is durable *before* any participant hears it
+            # (the presumed-abort ordering argument) — only the delivery
+            # fan-out below runs concurrently, never the log write.
             with self.oracle.decision_window():
-                for index, branch in enumerate(prepared):
-                    if index and self.decision_hook is not None:
-                        self.decision_hook(gtid, index)
-                    try:
-                        branch.commit_2pc(gtid)
-                        if plan is not None and plan.should_fire(
-                            "net-dup-decision"
-                        ):
-                            if self.obs is not None:
-                                self.obs.fault_injected("net-dup-decision")
-                            branch.commit_2pc(gtid)  # idempotent by contract
-                    except ReproError as exc:
-                        if delivery_error is None:
-                            delivery_error = exc
+                if self.decision_hook is not None:
+                    # Test seam: the hook interposes *between* deliveries,
+                    # which only means anything serially.
+                    delivery_error: Optional[BaseException] = None
+                    for index, branch in enumerate(prepared):
+                        if index:
+                            self.decision_hook(gtid, index)
+                        try:
+                            deliver(branch)
+                        except ReproError as exc:
+                            if delivery_error is None:
+                                delivery_error = exc
+                else:
+                    outcomes = self._broadcast(
+                        [(lambda b=branch: deliver(b)) for branch in prepared],
+                        op="2pc-decision",
+                    )
+                    delivery_error = first_error(outcomes)
             if delivery_error is not None:
                 raise delivery_error
         finally:
@@ -212,7 +261,8 @@ class TwoPhaseCoordinator:
             # Harden the presumption so a later resolver pass (or a
             # recovered coordinator) answers identically.
             self.log.record(gtid, "abort")
-        for connection in connections:
+
+        def redeliver(connection) -> None:
             try:
                 if decision == "commit":
                     connection.commit_2pc(gtid)
@@ -222,4 +272,12 @@ class TwoPhaseCoordinator:
                 # Participant never prepared this gtid (or already
                 # resolved it the same way) — nothing to re-deliver.
                 pass
+
+        outcomes = self._broadcast(
+            [(lambda c=connection: redeliver(c)) for connection in connections],
+            op="2pc-resolve",
+        )
+        error = first_error(outcomes)
+        if error is not None:
+            raise error
         return decision

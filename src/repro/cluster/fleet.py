@@ -1,0 +1,563 @@
+"""Multi-process shard fleet: each shard is its own OS process.
+
+The in-process :class:`~repro.cluster.router.Cluster` hosts every shard
+server inside one interpreter, so at MPL ≥ shard count the shards
+contend for a single GIL and adding shards cannot add throughput.  The
+fleet launches each shard as ``python -m repro.net --shard-index i
+--shard-count n`` — a separate interpreter per shard, real parallelism
+on multi-core hosts — and drives crash/recovery *inside* each child
+over the entrypoint's line-oriented control channel (the WAL is
+in-memory, so killing the process would lose the durable state the
+crash model is supposed to preserve).
+
+Three layers:
+
+:class:`ShardProcess`
+    One child process: spawn, readiness probe (``LISTENING <port>``),
+    control commands (CRASH / RECOVER / DUMP / FAULTS / PING), graceful
+    shutdown via stdin EOF with a kill fallback (counted, so tests can
+    assert clean teardown), and reaping.
+
+:class:`ShardFleet`
+    N shard processes launched concurrently, plus the cluster-facing
+    conveniences: ``addresses`` / ``url`` / ``connect()``.
+
+:class:`ProcessCluster`
+    Mirrors the :class:`~repro.cluster.router.Cluster` surface the chaos
+    harness and benchmarks drive — ``crash_shard`` / ``restart_shard`` /
+    ``install_faults`` / ``histories`` / ``total_money`` /
+    ``pending_2pc_gtids`` / ``recover_crashed`` — so the same scenario
+    code runs against either process model.
+
+::
+
+    with ProcessCluster(shard_count=2, customers=40) as cluster:
+        conn = cluster.connect()
+        ...
+        report = merge_shard_histories(cluster.histories())
+    assert cluster.fleet.kill_count == 0   # no orphaned processes
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConnectionClosed, ReproError, TransactionStateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.router import ClusterConnection
+    from repro.faults import FaultPlan
+    from repro.obs import Observability
+
+#: How long a child gets to bind its socket / finish recovery before the
+#: parent declares the spawn failed.  Population is O(customers) and
+#: interpreter start is the dominant cost; generous beats flaky.
+DEFAULT_STARTUP_DEADLINE = 60.0
+
+#: How long graceful shutdown (stdin EOF → child drains and exits) may
+#: take before the parent escalates to SIGTERM and then SIGKILL.
+DEFAULT_SHUTDOWN_TIMEOUT = 20.0
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``-m repro.net`` importable in a child."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH")
+    return src if not existing else src + os.pathsep + existing
+
+
+class ShardProcessError(ReproError):
+    """A shard child process misbehaved (died, hung, or spoke garbage)."""
+
+
+class ShardProcess:
+    """One shard served by its own ``python -m repro.net`` child process.
+
+    The constructor only spawns; call :meth:`wait_ready` (or let
+    :class:`ShardFleet` do it) before using :attr:`port`.  All control
+    traffic runs over the child's stdin/stdout pipes; a reader thread
+    feeds stdout lines into a queue so every wait is deadline-bounded
+    without racing buffered reads against ``select``.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        *,
+        customers: int = 40,
+        isolation: str = "si",
+        seed: Optional[int] = None,
+        partitioner: str = "hash",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        record: bool = True,
+        autovacuum_interval: Optional[float] = None,
+        fault_plan: "FaultPlan | None" = None,
+        startup_deadline: float = DEFAULT_STARTUP_DEADLINE,
+    ) -> None:
+        self.shard_index = shard_index
+        self.host = host
+        self.port: Optional[int] = None
+        self.crashed = False
+        self.kill_count = 0
+        self.stats: Optional[dict] = None
+        self._startup_deadline = startup_deadline
+        self._lock = threading.Lock()
+        argv = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.net",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--customers",
+            str(customers),
+            "--isolation",
+            isolation,
+            "--shard-index",
+            str(shard_index),
+            "--shard-count",
+            str(shard_count),
+            "--partitioner",
+            partitioner,
+        ]
+        if seed is not None:
+            argv += ["--seed", str(seed)]
+        if record:
+            argv.append("--record")
+        if autovacuum_interval is not None:
+            argv += ["--autovacuum", str(autovacuum_interval)]
+        if fault_plan is not None:
+            argv += ["--faults", fault_plan.to_json()]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repro_pythonpath()
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # child tracebacks stay visible on our stderr
+            env=env,
+            text=True,
+            bufsize=1,
+        )
+        self._lines: "queue.Queue[str | None]" = queue.Queue()
+        self._reader = threading.Thread(
+            target=self._pump_stdout,
+            name=f"repro-fleet-shard{shard_index}-stdout",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    def _pump_stdout(self) -> None:
+        for line in self.proc.stdout:
+            self._lines.put(line.rstrip("\n"))
+        self._lines.put(None)  # EOF sentinel
+
+    def _read_line(self, deadline: float, *, expecting: str) -> str:
+        remaining = deadline - time.monotonic()
+        while True:
+            try:
+                line = self._lines.get(timeout=max(0.0, remaining))
+            except queue.Empty:
+                raise ShardProcessError(
+                    f"shard {self.shard_index} (pid {self.proc.pid}): timed "
+                    f"out waiting for {expecting}"
+                ) from None
+            if line is None:
+                raise ShardProcessError(
+                    f"shard {self.shard_index} exited (code "
+                    f"{self.proc.poll()}) while the parent waited for "
+                    f"{expecting}"
+                )
+            return line
+
+    def _expect(self, prefix: str, deadline: float) -> str:
+        """Next stdout line starting with ``prefix``; returns the rest."""
+        line = self._read_line(deadline, expecting=prefix)
+        if not line.startswith(prefix):
+            raise ShardProcessError(
+                f"shard {self.shard_index}: expected {prefix!r}, got {line!r}"
+            )
+        return line[len(prefix) :].strip()
+
+    def _send(self, command: str) -> None:
+        if self.proc.poll() is not None:
+            raise ShardProcessError(
+                f"shard {self.shard_index} is dead (exit {self.proc.poll()})"
+            )
+        try:
+            self.proc.stdin.write(command + "\n")
+            self.proc.stdin.flush()
+        except (OSError, ValueError) as exc:
+            raise ShardProcessError(
+                f"shard {self.shard_index}: control channel broken: {exc}"
+            ) from exc
+
+    def _deadline(self, timeout: Optional[float] = None) -> float:
+        return time.monotonic() + (
+            timeout if timeout is not None else self._startup_deadline
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        if self.port is None:
+            raise ShardProcessError(
+                f"shard {self.shard_index} is not ready (no LISTENING yet)"
+            )
+        return (self.host, self.port)
+
+    def wait_ready(self) -> "tuple[str, int]":
+        """Block until the child prints ``LISTENING <port>``."""
+        with self._lock:
+            if self.port is None:
+                rest = self._expect("LISTENING ", self._deadline())
+                self.port = int(rest)
+        return (self.host, self.port)
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Control-channel liveness (distinct from the data-plane port)."""
+        try:
+            with self._lock:
+                self._send("PING")
+                self._expect("PONG", self._deadline(timeout))
+            return True
+        except ShardProcessError:
+            return False
+
+    def crash(self) -> None:
+        """Power-fail the shard's engine inside the (surviving) child."""
+        with self._lock:
+            self._send("CRASH")
+            self._expect("CRASHED", self._deadline())
+            self.crashed = True
+
+    def recover(self) -> "tuple[str, int]":
+        """Recover the engine and serve again on the same port."""
+        with self._lock:
+            self._send("RECOVER")
+            rest = self._expect("LISTENING ", self._deadline())
+            restarted_port = int(rest)
+            if self.port is not None and restarted_port != self.port:
+                raise ShardProcessError(
+                    f"shard {self.shard_index} recovered on port "
+                    f"{restarted_port}, expected {self.port}"
+                )
+            self.port = restarted_port
+            self.crashed = False
+        return (self.host, self.port)
+
+    def dump_history(self, path: str) -> int:
+        """Write the child's committed history to ``path`` as JSONL."""
+        with self._lock:
+            self._send(f"DUMP {path}")
+            return int(self._expect("DUMPED ", self._deadline()))
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        with self._lock:
+            self._send(
+                "FAULTS off" if plan is None else "FAULTS " + plan.to_json()
+            )
+            self._expect("FAULTS ok", self._deadline())
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = DEFAULT_SHUTDOWN_TIMEOUT) -> None:
+        """Graceful stop: stdin EOF, collect STATS, reap; escalate only
+        if the child hangs (counted in :attr:`kill_count`)."""
+        if self.proc.poll() is None:
+            try:
+                self.proc.stdin.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.kill_count += 1
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    self.proc.kill()
+                    self.proc.wait()
+        # Drain the reader for the final STATS line (present only after
+        # a graceful exit).
+        self._reader.join(timeout=5.0)
+        while True:
+            try:
+                line = self._lines.get_nowait()
+            except queue.Empty:
+                break
+            if line is not None and line.startswith("STATS "):
+                import json
+
+                self.stats = json.loads(line[len("STATS ") :])
+
+
+class ShardFleet:
+    """N shard processes over one hash-partitioned population.
+
+    Children are spawned first and readiness-probed second, so the
+    (interpreter start + population) cost is paid concurrently across
+    shards rather than serially.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        *,
+        customers: int = 40,
+        isolation: str = "si",
+        seed: Optional[int] = None,
+        partitioner: str = "hash",
+        record: bool = True,
+        autovacuum_interval: Optional[float] = None,
+        startup_deadline: float = DEFAULT_STARTUP_DEADLINE,
+        obs: "Observability | None" = None,
+    ) -> None:
+        self.shard_count = shard_count
+        self.obs = obs
+        self.fault_plan: "FaultPlan | None" = None
+        self.restart_count = 0
+        self.shards: "list[ShardProcess]" = []
+        try:
+            for shard in range(shard_count):
+                self.shards.append(
+                    ShardProcess(
+                        shard,
+                        shard_count,
+                        customers=customers,
+                        isolation=isolation,
+                        seed=seed,
+                        partitioner=partitioner,
+                        record=record,
+                        autovacuum_interval=autovacuum_interval,
+                        startup_deadline=startup_deadline,
+                    )
+                )
+                if obs is not None:
+                    obs.fleet_spawn(shard)
+            for shard_process in self.shards:
+                shard_process.wait_ready()
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> "list[tuple[str, int]]":
+        return [shard.address for shard in self.shards]
+
+    @property
+    def url(self) -> str:
+        return "cluster://" + ",".join(
+            f"{host}:{port}" for host, port in self.addresses
+        )
+
+    @property
+    def kill_count(self) -> int:
+        """Children that needed SIGTERM/SIGKILL instead of a clean EOF
+        exit — any non-zero value means an orphan-process bug."""
+        return sum(shard.kill_count for shard in self.shards)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for shard in self.shards if shard.alive)
+
+    def connect(self, **kwargs) -> "ClusterConnection":
+        from repro.cluster.router import ClusterConnection
+
+        kwargs.setdefault("url", self.url)
+        return ClusterConnection(self.addresses, **kwargs)
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Ship the plan to every child (remembered across restarts).
+
+        Each child rebuilds its own :class:`FaultPlan` from the same
+        seed, so per-shard draw sequences are independent — same as the
+        in-process cluster, where one shared plan is consulted from
+        per-shard server threads in nondeterministic order.
+        """
+        self.fault_plan = plan
+        for shard in self.shards:
+            if not shard.crashed:
+                shard.install_faults(plan)
+
+    def crash_shard(self, shard: int) -> None:
+        self.shards[shard].crash()
+
+    def restart_shard(self, shard: int) -> None:
+        self.shards[shard].recover()
+        if self.fault_plan is not None:
+            self.shards[shard].install_faults(self.fault_plan)
+        self.restart_count += 1
+        if self.obs is not None:
+            self.obs.fleet_restart(shard)
+
+    def shutdown(self) -> None:
+        for shard in self.shards:
+            shard.shutdown()
+
+    def __enter__(self) -> "ShardFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
+class ProcessCluster:
+    """Drop-in :class:`~repro.cluster.router.Cluster` replacement whose
+    shards live in child processes.
+
+    State the in-process cluster reads straight off its engines —
+    histories, balance totals, pending gtids — is fetched over the wire
+    (stats / scans) or the control channel (history dumps) instead, so
+    the chaos harness and benchmarks run unmodified against either
+    process model.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        *,
+        customers: int = 40,
+        isolation: str = "si",
+        seed: Optional[int] = None,
+        autovacuum_interval: Optional[float] = None,
+        obs: "Observability | None" = None,
+    ) -> None:
+        self.shard_count = shard_count
+        self.fleet = ShardFleet(
+            shard_count,
+            customers=customers,
+            isolation=isolation,
+            seed=seed,
+            record=True,
+            autovacuum_interval=autovacuum_interval,
+            obs=obs,
+        )
+        from repro.cluster.partition import HashPartitioner
+
+        self.partitioner = HashPartitioner(shard_count)
+
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> "list[tuple[str, int]]":
+        return self.fleet.addresses
+
+    @property
+    def url(self) -> str:
+        return self.fleet.url
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        return self.fleet.fault_plan
+
+    @property
+    def restart_count(self) -> int:
+        return self.fleet.restart_count
+
+    def connect(self, **kwargs) -> "ClusterConnection":
+        return self.fleet.connect(**kwargs)
+
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        self.fleet.install_faults(plan)
+
+    def crash_shard(self, shard: int) -> None:
+        self.fleet.crash_shard(shard)
+
+    def restart_shard(self, shard: int) -> None:
+        self.fleet.restart_shard(shard)
+
+    def recover_crashed(self) -> int:
+        """Restart any shard whose engine is crashed; returns the count."""
+        restarted = 0
+        for shard, process in enumerate(self.fleet.shards):
+            if process.crashed:
+                self.restart_shard(shard)
+                restarted += 1
+        return restarted
+
+    # ------------------------------------------------------------------
+    def histories(self):
+        """Per-shard committed histories, fetched via control-channel
+        DUMP and deserialised — same shape as ``Cluster.histories()``."""
+        from repro.analysis.recorder import load_history_jsonl
+
+        merged = {}
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            for shard, process in enumerate(self.fleet.shards):
+                path = os.path.join(tmp, f"shard{shard}.jsonl")
+                process.dump_history(path)
+                merged[shard] = load_history_jsonl(path)
+        return merged
+
+    def total_money(self) -> float:
+        """Cluster-wide balance sum, read over the wire per shard."""
+        from repro.net.client import NetworkConnection
+
+        total = 0.0
+        for host, port in self.addresses:
+            connection = NetworkConnection(host, port)
+            try:
+                session = connection.session()
+                session.begin("audit")
+                for table in ("Saving", "Checking"):
+                    for _key, row in session.scan(table, description="audit"):
+                        total += row["Balance"]
+                session.commit()
+                session.close()
+            finally:
+                connection.close()
+        return round(total, 2)
+
+    def pending_2pc_gtids(self) -> "set[str]":
+        """Every gtid still prepared or in doubt on any *serving* shard,
+        read from the wire-level server stats."""
+        pending: "set[str]" = set()
+        for shard, process in enumerate(self.fleet.shards):
+            if process.crashed:
+                raise TransactionStateError(
+                    f"shard {shard} is crashed; recover_crashed() first"
+                )
+            from repro.net.client import NetworkConnection
+
+            connection = NetworkConnection(process.host, process.port)
+            try:
+                stats = connection.stats()
+            except ConnectionClosed as exc:
+                raise ShardProcessError(
+                    f"shard {shard} unreachable for a 2PC sweep: {exc}"
+                ) from exc
+            finally:
+                connection.close()
+            pending.update(stats.get("in_doubt_gtids", ()))
+            pending.update(stats.get("prepared_gtids", ()))
+        return pending
+
+    def shutdown(self) -> None:
+        self.fleet.shutdown()
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

@@ -33,7 +33,8 @@ from typing import TYPE_CHECKING, Callable, Hashable, Mapping, Optional, Sequenc
 
 from repro.api import Connection
 from repro.cluster.coordinator import DecisionLog, TwoPhaseCoordinator
-from repro.cluster.oracle import TimestampOracle
+from repro.cluster.fanout import FanOutPool, first_error
+from repro.cluster.oracle import DEFAULT_GTID_LEASE, TimestampOracle
 from repro.cluster.partition import (
     PARTITION_COLUMNS,
     HashPartitioner,
@@ -92,29 +93,71 @@ class ClusterSession:
         self._label = ""
         self._tagged = ""
         self._gtid = ""
+        #: Locally owned gtid block (oracle lease); refilled on exhaustion.
+        self._gtid_lease: "range" = range(0)
+        self._gtid_lease_pos = 0
 
     # ------------------------------------------------------------------
     # Transaction control
     # ------------------------------------------------------------------
+    def _next_gtid_number(self) -> int:
+        """Next gtid from this session's leased block (amortised oracle).
+
+        One oracle mutex acquisition per :data:`DEFAULT_GTID_LEASE`-ish
+        transactions instead of one per transaction; unconsumed ids of a
+        discarded session's block are simply never used.
+        """
+        if self._gtid_lease_pos >= len(self._gtid_lease):
+            self._gtid_lease = self._cluster.oracle.lease_gtids(
+                self._cluster.gtid_lease
+            )
+            self._gtid_lease_pos = 0
+        number = self._gtid_lease[self._gtid_lease_pos]
+        self._gtid_lease_pos += 1
+        return number
+
     def begin(self, label: str = "") -> None:
         if self._in_txn:
             raise TransactionStateError(
                 "session already has an active transaction"
             )
-        number = self._cluster.oracle.next_gtid()
+        number = self._next_gtid_number()
         self._gtid = f"g{number}"
         self._label = label
         self._tagged = f"{label}#{self._gtid}"
         self._in_txn = True
         if self._cluster.snapshot_mode == "consistent":
             # All per-shard snapshots open inside one shared window: no
-            # 2PC decision broadcast can interleave them.
-            with self._cluster.oracle.snapshot_window():
-                for shard, connection in enumerate(self._cluster.shards):
-                    self._cluster._require_healthy(shard)
-                    branch = connection.session()
-                    self._branches[shard] = branch
+            # 2PC decision broadcast can interleave them.  The per-shard
+            # BEGINs fan out concurrently — they are the price consistent
+            # mode pays on every transaction, so they must not cost
+            # ``shards × RTT``.
+            for shard in range(len(self._cluster.shards)):
+                self._cluster._require_healthy(shard)
+
+            def open_branch(connection: "NetworkConnection") -> NetworkSession:
+                branch = connection.session()
+                try:
                     branch.begin_now(self._tagged)
+                except BaseException:
+                    branch.close()  # do not leak the pooled wire
+                    raise
+                return branch
+
+            with self._cluster.oracle.snapshot_window():
+                outcomes = self._cluster.fanout.run(
+                    [
+                        (lambda c=connection: open_branch(c))
+                        for connection in self._cluster.shards
+                    ],
+                    op="begin",
+                )
+            for shard, outcome in enumerate(outcomes):
+                if outcome.ok:
+                    self._branches[shard] = outcome.value
+            error = first_error(outcomes)
+            if error is not None:
+                raise error
 
     @property
     def in_transaction(self) -> bool:
@@ -239,10 +282,22 @@ class ClusterSession:
             return self._branch(shard).lookup_unique(
                 table, column, value, kind=kind
             )
-        for branch in self._all_branches():  # no shard-local index: probe all
-            found = branch.lookup_unique(table, column, value, kind=kind)
-            if found is not None:
-                return found
+        # No shard-local index: probe all shards concurrently and take
+        # the first hit in shard order (the column is unique, so at most
+        # one shard answers).
+        outcomes = self._cluster.fanout.run(
+            [
+                (lambda b=branch: b.lookup_unique(table, column, value, kind=kind))
+                for branch in self._all_branches()
+            ],
+            op="lookup",
+        )
+        error = first_error(outcomes)
+        if error is not None:
+            raise error
+        for outcome in outcomes:
+            if outcome.value is not None:
+                return outcome.value
         return None
 
     def scan(
@@ -253,9 +308,19 @@ class ClusterSession:
         *,
         kind: str = "scan",
     ) -> "list[tuple[Hashable, Row]]":
+        outcomes = self._cluster.fanout.run(
+            [
+                (lambda b=branch: b.scan(table, predicate, description, kind=kind))
+                for branch in self._all_branches()
+            ],
+            op="scan",
+        )
+        error = first_error(outcomes)
+        if error is not None:
+            raise error
         matches: "list[tuple[Hashable, Row]]" = []
-        for branch in self._all_branches():
-            matches.extend(branch.scan(table, predicate, description, kind=kind))
+        for outcome in outcomes:
+            matches.extend(outcome.value)
         matches.sort(key=lambda pair: repr(pair[0]))
         return matches
 
@@ -403,6 +468,9 @@ class ClusterConnection(Connection):
         fault_plan: "FaultPlan | None" = None,
         rpc_deadline: Optional[float] = None,
         unhealthy_after: int = 3,
+        fanout_workers: Optional[int] = None,
+        gtid_base: int = 0,
+        gtid_lease: int = DEFAULT_GTID_LEASE,
     ) -> None:
         if not addresses:
             raise ValueError("cluster needs at least one shard address")
@@ -420,13 +488,27 @@ class ClusterConnection(Connection):
             f"{host}:{port}" for host, port in addresses
         )
         self.partitioner = HashPartitioner(len(addresses))
-        self.oracle = TimestampOracle()
+        #: Gtid block size each session leases from the oracle at a time.
+        self.gtid_lease = gtid_lease
+        self.oracle = TimestampOracle(gtid_base=gtid_base)
+        #: Shared fan-out pool for every per-shard broadcast this
+        #: connection performs (BEGINs, 2PC rounds, scans, sweeps).
+        #: Sized so ~pool_size concurrent sessions can each keep their
+        #: non-inline shards busy; the per-shard wire pools bound socket
+        #: concurrency underneath it.
+        self.fanout = FanOutPool(
+            fanout_workers
+            if fanout_workers is not None
+            else max(4, 4 * len(addresses)),
+            obs=obs,
+        )
         self.coordinator = TwoPhaseCoordinator(
             self.oracle,
             decision_hook=decision_hook,
             decision_log=decision_log,
             fault_plan=fault_plan,
             obs=obs,
+            fanout=self.fanout,
         )
         self._counter_lock = threading.Lock()
         self._counters = {
@@ -532,17 +614,28 @@ class ClusterConnection(Connection):
             self.obs.cluster_shard_health(self._unhealthy_count())
 
     def heartbeat(self, deadline: Optional[float] = None) -> "list[bool]":
-        """One synchronous health probe of every shard (single attempt)."""
+        """One synchronous health probe of every shard (single attempt).
+
+        Probes fan out concurrently, so one slow or dead shard cannot
+        delay the health verdicts of the others past its own deadline.
+        """
+        outcomes = self.fanout.run(
+            [
+                (lambda c=connection: c.ping(deadline=deadline))
+                for connection in self.shards
+            ],
+            op="heartbeat",
+        )
         results = []
-        for shard, connection in enumerate(self.shards):
-            ok = connection.ping(deadline=deadline)
+        for shard, outcome in enumerate(outcomes):
+            ok = bool(outcome.ok and outcome.value)
             if self.obs is not None:
                 self.obs.cluster_heartbeat(shard, ok)
             if ok:
                 self._note_shard_ok(shard)
             else:
                 self._note_shard_failure(
-                    shard, ConnectionClosed("heartbeat ping failed")
+                    shard, outcome.error or ConnectionClosed("heartbeat ping failed")
                 )
             results.append(ok)
         return results
@@ -608,7 +701,11 @@ class ClusterConnection(Connection):
         Each probe is bounded by the per-shard connection ``timeout`` —
         a down shard yields ``False``, never an indefinite hang.
         """
-        results = [shard.ping() for shard in self.shards]
+        outcomes = self.fanout.run(
+            [(lambda c=connection: c.ping()) for connection in self.shards],
+            op="ping",
+        )
+        results = [bool(o.ok and o.value) for o in outcomes]
         for shard, ok in enumerate(results):
             if not ok:
                 self._note_shard_failure(
@@ -627,25 +724,38 @@ class ClusterConnection(Connection):
             "snapshot_mode": self.snapshot_mode,
             **self.counters(),
         }
+        outcomes = self.fanout.run(
+            [(lambda c=connection: c.stats()) for connection in self.shards],
+            op="stats",
+        )
         shard_stats: "list[dict]" = []
-        for shard, connection in enumerate(self.shards):
-            try:
-                shard_stats.append(connection.stats())
-            except ConnectionClosed as exc:
-                self._note_shard_failure(shard, exc)
+        for shard, outcome in enumerate(outcomes):
+            if outcome.ok:
+                shard_stats.append(outcome.value)
+            elif isinstance(outcome.error, ConnectionClosed):
+                self._note_shard_failure(shard, outcome.error)
                 shard_stats.append(
                     {
                         "backend": "network",
                         "unreachable": True,
-                        "error": str(exc),
+                        "error": str(outcome.error),
                     }
                 )
+            else:
+                raise outcome.error
         merged["shard_stats"] = shard_stats
         merged["shard_health"] = self.shard_health()
         return merged
 
     def vacuum(self) -> int:
-        return sum(shard.vacuum() for shard in self.shards)
+        outcomes = self.fanout.run(
+            [(lambda c=connection: c.vacuum()) for connection in self.shards],
+            op="vacuum",
+        )
+        error = first_error(outcomes)
+        if error is not None:
+            raise error
+        return sum(outcome.value for outcome in outcomes)
 
     def flush(self) -> None:
         """Settle deferred read-only COMMITs on every shard's idle wires.
@@ -654,8 +764,13 @@ class ClusterConnection(Connection):
         read-only transaction's queued COMMIT has not reached its shard
         and the shard's recorder has not observed it.
         """
-        for shard in self.shards:
-            shard.flush()
+        outcomes = self.fanout.run(
+            [(lambda c=connection: c.flush()) for connection in self.shards],
+            op="flush",
+        )
+        error = first_error(outcomes)
+        if error is not None:
+            raise error
 
     def resolve_in_doubt(self) -> "dict[str, str]":
         """Settle every in-doubt or orphaned-prepared gtid the shards report.
@@ -675,12 +790,18 @@ class ClusterConnection(Connection):
         #: settled exactly once per sweep, with one delivery per shard
         #: (so the in_doubt_* counters count settled *transactions*).
         pending: "dict[str, list[NetworkConnection]]" = {}
+        stat_outcomes = self.fanout.run(
+            [(lambda c=connection: c.stats()) for connection in self.shards],
+            op="resolve-scan",
+        )
         for index, shard in enumerate(self.shards):
-            try:
-                stats = shard.stats()
-            except ConnectionClosed as exc:
-                self._note_shard_failure(index, exc)
-                continue
+            outcome = stat_outcomes[index]
+            if not outcome.ok:
+                if isinstance(outcome.error, ConnectionClosed):
+                    self._note_shard_failure(index, outcome.error)
+                    continue
+                raise outcome.error
+            stats = outcome.value
             gtids = list(stats.get("in_doubt_gtids", ()))
             gtids.extend(
                 gtid
@@ -708,6 +829,7 @@ class ClusterConnection(Connection):
         self.stop_background()
         for shard in self.shards:
             shard.close()
+        self.fanout.shutdown()
 
 
 class Cluster:
@@ -815,26 +937,16 @@ class Cluster:
         txids are shifted into a per-crash epoch range because recovery
         restarts the txid counter and the MVSG keys nodes by txid.
         """
-        from dataclasses import replace
+        from repro.analysis.recorder import salvage_durable_history
 
         db = self.databases[shard]
         recorder = self.recorders[shard]
         db.crash()
         self.servers[shard].shutdown()
-        horizon = max(
-            (record.commit_ts for record in db.wal.durable_records),
-            default=0,
-        )
         self._salvage_epoch += 1
-        offset = self._salvage_epoch * 10_000_000
-        salvaged = []
-        for txn in recorder.committed:
-            if txn.is_read_only:
-                if any(version_ts > horizon for _row, version_ts in txn.reads):
-                    continue
-            elif txn.commit_ts > horizon:
-                continue
-            salvaged.append(replace(txn, txid=txn.txid + offset))
+        salvaged = salvage_durable_history(
+            db, recorder, txid_offset=self._salvage_epoch * 10_000_000
+        )
         self._history_prefix.setdefault(shard, []).extend(salvaged)
         recorder.clear()
 
@@ -896,6 +1008,23 @@ class Cluster:
                     total += row["Balance"]
             db.commit(txn)
         return round(total, 2)
+
+    def pending_2pc_gtids(self) -> "set[str]":
+        """Every gtid still prepared or in doubt anywhere in the cluster."""
+        pending: "set[str]" = set()
+        for db in self.databases:
+            pending.update(db.recovered_in_doubt)
+            pending.update(db.prepared_gtids)
+        return pending
+
+    def recover_crashed(self) -> int:
+        """Restart any shard whose engine is crashed; returns the count."""
+        restarted = 0
+        for shard, db in enumerate(self.databases):
+            if db.is_crashed:
+                self.restart_shard(shard)
+                restarted += 1
+        return restarted
 
     def shutdown(self) -> None:
         for server in self.servers:

@@ -5,6 +5,11 @@ points.  Everything is strictly opt-in: with no :class:`FaultPlan`
 installed, every hook is a no-op and executions are unchanged.
 """
 
-from repro.faults.plan import INJECTION_POINTS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    INJECTION_POINTS,
+    FaultPlan,
+    FaultSpec,
+    plan_from_json,
+)
 
-__all__ = ["FaultPlan", "FaultSpec", "INJECTION_POINTS"]
+__all__ = ["FaultPlan", "FaultSpec", "INJECTION_POINTS", "plan_from_json"]

@@ -185,6 +185,51 @@ class FaultPlan:
         """How many injections have happened at ``point`` so far."""
         return self.injections[point]
 
+    # ------------------------------------------------------------------
+    # Serialisation — how a parent ships a fault schedule to a shard
+    # process (repro.cluster.fleet) over argv / the control channel.
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """JSON text rebuilding an *equivalent fresh* plan (statistics and
+        RNG position are not carried — the receiver starts a new draw
+        sequence from the same seed)."""
+        import json
+
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "specs": [
+                    {
+                        "point": spec.point,
+                        "probability": spec.probability,
+                        "start_after": spec.start_after,
+                        "max_fires": spec.max_fires,
+                        "magnitude": spec.magnitude,
+                    }
+                    for _point, spec in sorted(self._specs.items())
+                ],
+            },
+            sort_keys=True,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         points = ", ".join(sorted(self._specs)) or "<empty>"
         return f"FaultPlan(seed={self.seed}, points=[{points}])"
+
+
+def plan_from_json(text: str) -> FaultPlan:
+    """Inverse of :meth:`FaultPlan.to_json`."""
+    import json
+
+    data = json.loads(text)
+    specs = [
+        FaultSpec(
+            point=item["point"],
+            probability=item.get("probability", 1.0),
+            start_after=item.get("start_after", 0),
+            max_fires=item.get("max_fires"),
+            magnitude=item.get("magnitude", 0.0),
+        )
+        for item in data.get("specs", ())
+    ]
+    return FaultPlan(specs, seed=data.get("seed", 0))

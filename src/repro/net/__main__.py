@@ -1,19 +1,38 @@
 """``python -m repro.net`` — run a standalone SmallBank database server.
 
-Builds a populated SmallBank :class:`~repro.engine.engine.Database` and
-serves it over the wire protocol until stdin reaches EOF (the portable
-subprocess-control convention: the parent closes our stdin — or exits,
-which closes it too — and we shut down gracefully).
+Builds a populated SmallBank :class:`~repro.engine.engine.Database` —
+optionally one *shard slice* of a hash-partitioned population,
+bit-identical to :func:`repro.cluster.partition.build_shard_database`
+under the same seed — and serves it over the wire protocol until stdin
+reaches EOF (the portable subprocess-control convention: the parent
+closes our stdin — or exits, which closes it too — and we shut down
+gracefully).
 
-Protocol with the parent process, line-oriented on stdout::
+Protocol with the parent process, line-oriented stdout / stdin::
 
-    LISTENING <port>        once the socket is bound
+    LISTENING <port>        once the socket is bound (again after RECOVER)
     STATS <json>            final server counters, after graceful shutdown
 
-Used by ``benchmarks/bench_net.py`` to measure the service layer from a
-*separate* process — client threads and the server loop each get their
-own interpreter (and GIL), exactly like a real deployment — and handy for
-manual experiments::
+    CRASH                   power-fail the engine, stop serving; salvages
+                            the recorded history up to the durable WAL
+                            horizon (--record) -> CRASHED
+    RECOVER                 rebuild from durable state, serve again on
+                            the *same* port -> LISTENING <port>
+    DUMP <path>             write the committed history (salvaged prefix
+                            + live recorder) as JSONL -> DUMPED <n>
+    FAULTS <json|off>       install / clear a FaultPlan on the live
+                            server -> FAULTS ok
+    PING                    liveness of the control channel -> PONG
+
+The control channel is what lets :mod:`repro.cluster.fleet` drive
+*engine-level* crash/recovery inside a surviving OS process: the WAL is
+in-memory, so killing the process would lose durable state — the crash
+model is power failure of the database, not loss of the machine.
+
+Used by ``benchmarks/bench_net.py`` and the cluster fleet to run
+servers from a *separate* process — client threads and the server loop
+each get their own interpreter (and GIL), exactly like a real
+deployment — and handy for manual experiments::
 
     PYTHONPATH=src python -m repro.net --port 7654 --customers 100 &
     PYTHONPATH=src python -c "
@@ -33,6 +52,130 @@ from repro.net.server import DatabaseServer
 from repro.obs import Observability
 from repro.smallbank import PopulationConfig, build_database
 
+#: Shard-slice txid epoch stride for crash salvage — matches the
+#: in-process :class:`repro.cluster.Cluster` so merged traces from
+#: either process model look identical.
+SALVAGE_EPOCH_STRIDE = 10_000_000
+
+
+def build_served_database(
+    *,
+    customers: int,
+    isolation: str = "si",
+    seed: "int | None" = None,
+    shard_index: int = 0,
+    shard_count: int = 1,
+    partitioner: str = "hash",
+):
+    """The database one ``python -m repro.net`` process serves.
+
+    With ``shard_count > 1`` this is one shard's slice of the hash
+    partitioned population, drawn in exactly the single-node RNG order —
+    the standalone-process path and
+    :func:`repro.cluster.partition.build_shard_database` must stay
+    bit-identical (tested by ``tests/test_cluster_fleet.py``).
+    """
+    if partitioner != "hash":
+        raise ValueError(f"unknown partitioner {partitioner!r}; known: hash")
+    population = (
+        PopulationConfig(customers=customers)
+        if seed is None
+        else PopulationConfig(customers=customers, seed=seed)
+    )
+    if shard_count > 1:
+        from repro.cluster.partition import build_shard_database
+
+        return build_shard_database(
+            ISOLATION_CONFIGS[isolation](),
+            population,
+            shard_index=shard_index,
+            shard_count=shard_count,
+        )
+    return build_database(ISOLATION_CONFIGS[isolation](), population)
+
+
+def _control_loop(args, db, recorder, server, plan) -> tuple:
+    """Serve until EOF, honouring the line-oriented control commands.
+
+    Returns ``(db, server, crashed)`` — the engine and server may have
+    been replaced by CRASH/RECOVER cycles.
+    """
+    from repro.analysis.recorder import dump_history_jsonl, salvage_durable_history
+    from repro.faults import plan_from_json
+
+    history_prefix: list = []
+    salvage_epoch = 0
+    crashed = False
+    port = server.port
+    while True:
+        try:
+            line = sys.stdin.readline()
+        except KeyboardInterrupt:
+            break
+        if not line:  # EOF: parent closed our stdin (or died)
+            break
+        command, _, rest = line.strip().partition(" ")
+        rest = rest.strip()
+        if not command:
+            continue
+        if command == "PING":
+            print("PONG", flush=True)
+        elif command == "CRASH":
+            if crashed:
+                print("ERR already crashed", flush=True)
+                continue
+            db.crash()
+            server.shutdown()
+            if recorder is not None:
+                salvage_epoch += 1
+                history_prefix.extend(
+                    salvage_durable_history(
+                        db,
+                        recorder,
+                        txid_offset=salvage_epoch * SALVAGE_EPOCH_STRIDE,
+                    )
+                )
+                recorder.clear()
+            crashed = True
+            print("CRASHED", flush=True)
+        elif command == "RECOVER":
+            if not crashed:
+                print("ERR not crashed", flush=True)
+                continue
+            # recover() carries observers (the recorder) and the fault
+            # plan over to the rebuilt engine; rebind the same port so
+            # clients reconnect transparently.
+            db = db.recover()
+            server = DatabaseServer(
+                db,
+                host=args.host,
+                port=port,
+                max_connections=args.max_connections,
+                backpressure=not args.reject,
+                obs=server.obs,
+                autovacuum_interval=args.autovacuum,
+                fault_plan=plan,
+            ).start_in_thread()
+            crashed = False
+            print(f"LISTENING {server.port}", flush=True)
+        elif command == "DUMP":
+            if not rest:
+                print("ERR DUMP needs a path", flush=True)
+                continue
+            committed = tuple(history_prefix)
+            if recorder is not None:
+                committed += recorder.committed
+            count = dump_history_jsonl(rest, committed)
+            print(f"DUMPED {count}", flush=True)
+        elif command == "FAULTS":
+            plan = None if rest in ("", "off", "none") else plan_from_json(rest)
+            if not crashed:
+                server.install_faults(plan)
+            print("FAULTS ok", flush=True)
+        else:
+            print(f"ERR unknown command {command!r}", flush=True)
+    return db, server, crashed
+
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
@@ -47,6 +190,10 @@ def main(argv: "list[str] | None" = None) -> int:
         "--isolation", default="si", choices=sorted(ISOLATION_CONFIGS)
     )
     parser.add_argument(
+        "--seed", type=int, default=None,
+        help="population seed (default: the canonical SmallBank seed)",
+    )
+    parser.add_argument(
         "--shard-index", type=int, default=0,
         help="serve one shard of a hash-partitioned population",
     )
@@ -55,8 +202,20 @@ def main(argv: "list[str] | None" = None) -> int:
         help="total shards the population is partitioned across",
     )
     parser.add_argument(
+        "--partitioner", default="hash", choices=("hash",),
+        help="partitioning scheme for the shard slice",
+    )
+    parser.add_argument(
         "--autovacuum", type=float, default=None, metavar="SECONDS",
         help="run the version-chain vacuum periodically",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="attach an ExecutionRecorder (enables DUMP and crash salvage)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="JSON",
+        help="install a FaultPlan (FaultPlan.to_json format) at startup",
     )
     parser.add_argument("--max-connections", type=int, default=64)
     parser.add_argument(
@@ -69,20 +228,24 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.shard_count > 1:
-        from repro.cluster.partition import build_shard_database
+    db = build_served_database(
+        customers=args.customers,
+        isolation=args.isolation,
+        seed=args.seed,
+        shard_index=args.shard_index,
+        shard_count=args.shard_count,
+        partitioner=args.partitioner,
+    )
+    recorder = None
+    if args.record:
+        from repro.analysis.recorder import record_database
 
-        db = build_shard_database(
-            ISOLATION_CONFIGS[args.isolation](),
-            PopulationConfig(customers=args.customers),
-            shard_index=args.shard_index,
-            shard_count=args.shard_count,
-        )
-    else:
-        db = build_database(
-            ISOLATION_CONFIGS[args.isolation](),
-            PopulationConfig(customers=args.customers),
-        )
+        recorder = record_database(db)
+    plan = None
+    if args.faults:
+        from repro.faults import plan_from_json
+
+        plan = plan_from_json(args.faults)
     server = DatabaseServer(
         db,
         host=args.host,
@@ -91,13 +254,12 @@ def main(argv: "list[str] | None" = None) -> int:
         backpressure=not args.reject,
         obs=Observability() if args.obs else None,
         autovacuum_interval=args.autovacuum,
+        fault_plan=plan,
     ).start_in_thread()
     print(f"LISTENING {server.port}", flush=True)
-    try:
-        sys.stdin.read()  # block until the parent closes our stdin
-    except KeyboardInterrupt:
-        pass
-    server.shutdown()
+    db, server, crashed = _control_loop(args, db, recorder, server, plan)
+    if not crashed:
+        server.shutdown()
     print(f"STATS {json.dumps(server.stats(), sort_keys=True)}", flush=True)
     return 0
 

@@ -199,6 +199,24 @@ class Observability:
             "repro_cluster_shards_unhealthy",
             help="Shards currently marked unhealthy by heartbeat tracking",
         )
+        # Fleet / fan-out instruments (DESIGN.md §14).
+        self.cluster_fanout_broadcasts = m.counter(
+            "repro_cluster_fanout_broadcasts_total",
+            help="Concurrent per-shard RPC broadcasts through the fan-out pool",
+        )
+        self.cluster_fanout_width = m.histogram(
+            "repro_cluster_fanout_width",
+            help="Shards addressed per fan-out broadcast",
+        )
+        self.fleet_spawns = m.counter(
+            "repro_fleet_spawns_total",
+            help="Shard OS processes launched by the fleet manager",
+        )
+        self.fleet_restarts = m.counter(
+            "repro_fleet_restarts_total",
+            help="Shard engine crash/recover cycles driven over the fleet "
+            "control channel",
+        )
 
     # ------------------------------------------------------------------
     def now(self) -> float:
@@ -380,6 +398,22 @@ class Observability:
 
     def cluster_shard_health(self, unhealthy: int) -> None:
         self.cluster_shards_unhealthy.set(unhealthy)
+
+    def cluster_fanout(self, op: str, width: int) -> None:
+        """One concurrent per-shard broadcast through the fan-out pool."""
+        self.cluster_fanout_broadcasts.inc()
+        self.cluster_fanout_width.observe(width)
+        self.metrics.counter(
+            "repro_cluster_fanout_broadcasts_total",
+            labels={"op": op},
+            help="Fan-out broadcasts, by router operation",
+        ).inc()
+
+    def fleet_spawn(self, shard: int) -> None:
+        self.fleet_spawns.inc()
+
+    def fleet_restart(self, shard: int) -> None:
+        self.fleet_restarts.inc()
 
     # ------------------------------------------------------------------
     # Driver hooks (program-labelled run accounting)

@@ -1,0 +1,267 @@
+"""Concurrent fan-out: pool semantics, oracle groups, router broadcasts.
+
+The pool's gather contract (every outcome, positionally, nothing raised
+early) is what lets 2PC launch all PREPAREs concurrently and still
+reason about votes; the oracle's two-group latch is what lets decision
+broadcasts share a window instead of serialising every cross-shard
+commit; and the router-level tests pin the observable win — a slow
+shard no longer stalls probes of the healthy ones — plus the 2PC
+correctness properties that must survive the concurrency: presumed
+abort under a mid-fan-out shard crash and idempotent duplicate decision
+delivery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import Cluster, TimestampOracle
+from repro.cluster.fanout import FanOutPool, Outcome, first_error
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Observability
+
+
+class TestFanOutPool:
+    def test_outcomes_are_positional_and_errors_captured(self):
+        boom = ValueError("boom")
+
+        def fail():
+            raise boom
+
+        with FanOutPool(4) as pool:
+            outcomes = pool.run([lambda: "a", fail, lambda: "c"])
+        assert [outcome.value for outcome in outcomes] == ["a", None, "c"]
+        assert outcomes[1].error is boom
+        assert [outcome.ok for outcome in outcomes] == [True, False, True]
+        assert first_error(outcomes) is boom
+
+    def test_first_error_is_task_order_not_completion_order(self):
+        slow = RuntimeError("slow-but-first")
+        fast = RuntimeError("fast-but-second")
+
+        def slow_fail():
+            time.sleep(0.05)
+            raise slow
+
+        def fast_fail():
+            raise fast
+
+        with FanOutPool(4) as pool:
+            assert first_error(pool.run([slow_fail, fast_fail])) is slow
+
+    def test_single_task_runs_inline_without_threads(self):
+        pool = FanOutPool(4)
+        caller = threading.current_thread().name
+        outcomes = pool.run([lambda: threading.current_thread().name])
+        assert outcomes == [Outcome(caller, None)]
+        assert pool._executor is None  # never lazily created
+        pool.shutdown()
+
+    def test_multi_task_broadcast_really_overlaps(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+        with FanOutPool(4) as pool:
+            outcomes = pool.run([barrier.wait] * 3)
+        # All three tasks were inside the barrier simultaneously; a
+        # serial loop would have deadlocked (BrokenBarrierError).
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_closed_pool_degrades_to_serial_not_an_error(self):
+        pool = FanOutPool(2)
+        pool.run([lambda: 1, lambda: 2])  # force executor creation
+        pool.shutdown()
+        outcomes = pool.run([lambda: 1, lambda: 2, lambda: 3])
+        assert [outcome.value for outcome in outcomes] == [1, 2, 3]
+
+    def test_counts_broadcasts_in_obs(self):
+        obs = Observability()
+        with FanOutPool(2, obs=obs) as pool:
+            pool.run([lambda: 1, lambda: 2], op="stats")
+        assert obs.cluster_fanout_broadcasts.value == 1
+
+
+class TestOracleGroups:
+    def test_gtid_leases_are_disjoint_across_threads(self):
+        oracle = TimestampOracle()
+        leases: "list[range]" = []
+        lock = threading.Lock()
+
+        def grab():
+            for _ in range(10):
+                lease = oracle.lease_gtids(16)
+                with lock:
+                    leases.append(lease)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seen: "set[int]" = set()
+        for lease in leases:
+            assert len(lease) == 16
+            assert not seen & set(lease)
+            seen.update(lease)
+
+    def test_gtid_base_offsets_the_whole_space(self):
+        oracle = TimestampOracle(gtid_base=10**9)
+        assert oracle.next_gtid() == 10**9 + 1
+        assert oracle.lease_gtids(4) == range(10**9 + 2, 10**9 + 6)
+
+    def test_decision_windows_share_the_group(self):
+        """Two decision broadcasts may overlap (disjoint gtids commute);
+        under the old exclusive latch this barrier would time out."""
+        oracle = TimestampOracle()
+        barrier = threading.Barrier(2, timeout=5.0)
+        failures: "list[BaseException]" = []
+
+        def deliver():
+            try:
+                with oracle.decision_window():
+                    barrier.wait()
+            except BaseException as exc:  # pragma: no cover - on failure
+                failures.append(exc)
+
+        threads = [threading.Thread(target=deliver) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_decisions_still_exclude_snapshots(self):
+        oracle = TimestampOracle()
+        release = threading.Event()
+        snapshot_entered = threading.Event()
+
+        def hold_decision():
+            with oracle.decision_window():
+                release.wait(timeout=5.0)
+
+        holder = threading.Thread(target=hold_decision)
+        holder.start()
+        time.sleep(0.05)  # let the decision window open
+
+        def try_snapshot():
+            with oracle.snapshot_window():
+                snapshot_entered.set()
+
+        snapshotter = threading.Thread(target=try_snapshot)
+        snapshotter.start()
+        assert not snapshot_entered.wait(timeout=0.2)  # blocked out
+        release.set()
+        assert snapshot_entered.wait(timeout=5.0)  # admitted afterwards
+        holder.join()
+        snapshotter.join()
+
+
+def _delay_all_frames(magnitude: float) -> FaultPlan:
+    return FaultPlan(
+        [FaultSpec("net-delay-frame", probability=1.0, magnitude=magnitude)],
+        seed=1,
+    )
+
+
+class TestRouterBroadcasts:
+    DELAY = 0.3
+
+    def test_slow_shards_do_not_stack_in_stats_sweep(self):
+        """Satellite regression: stats/heartbeat used to probe shards
+        serially, so N delayed shards cost N x delay.  With the fan-out
+        pool the sweep completes in ~one delay."""
+        with Cluster(2, customers=4) as cluster:
+            conn = cluster.connect()
+            try:
+                conn.stats()  # prime every wire before installing faults
+                cluster.install_faults(_delay_all_frames(self.DELAY))
+                started = time.perf_counter()
+                stats = conn.stats()
+                elapsed = time.perf_counter() - started
+            finally:
+                cluster.install_faults(None)
+                conn.close()
+        assert len(stats["shard_stats"]) == 2
+        assert elapsed >= self.DELAY * 0.8  # the delay really applied...
+        assert elapsed < self.DELAY * 2 * 0.85  # ...but only once, not 2x
+
+    def test_slow_shards_do_not_stack_in_heartbeat(self):
+        with Cluster(2, customers=4) as cluster:
+            conn = cluster.connect()
+            try:
+                assert conn.ping()  # prime every wire
+                cluster.install_faults(_delay_all_frames(self.DELAY))
+                started = time.perf_counter()
+                health = conn.heartbeat()
+                elapsed = time.perf_counter() - started
+            finally:
+                cluster.install_faults(None)
+                conn.close()
+        assert all(health)
+        assert elapsed >= self.DELAY * 0.8
+        assert elapsed < self.DELAY * 2 * 0.85
+
+    def test_fanout_metric_counts_router_broadcasts(self):
+        obs = Observability()
+        with Cluster(2, customers=4) as cluster:
+            conn = cluster.connect(obs=obs)
+            try:
+                conn.stats()
+                conn.ping()
+            finally:
+                conn.close()
+        assert obs.cluster_fanout_broadcasts.value >= 2
+
+
+class TestConcurrent2pc:
+    def test_mid_fanout_shard_crash_presumes_abort(self):
+        """All PREPAREs launch concurrently; when one participant's
+        engine is down its NO vote must abort the gtid, roll back every
+        YES voter, and leave nothing prepared anywhere."""
+        with Cluster(2, customers=4) as cluster:
+            conn = cluster.connect()
+            try:
+                session = conn.session()
+                session.begin("CrossTransfer")
+                # Customer 1 -> shard 1, customer 2 -> shard 0.
+                session.update("Checking", 1, {"Balance": 111.0})
+                session.update("Checking", 2, {"Balance": 222.0})
+                cluster.databases[0].crash()  # dies mid-protocol
+                with pytest.raises(ReproError):
+                    session.commit()
+                session.close()
+                # Presumed abort: the coordinator logged the abort and
+                # the surviving shard holds no prepared orphan.
+                decisions = conn.coordinator.log.decisions()
+                assert decisions and set(decisions.values()) == {"abort"}
+                assert cluster.databases[1].prepared_gtids == ()
+            finally:
+                conn.close()
+
+    def test_duplicate_decisions_stay_idempotent_under_fanout(self):
+        """net-dup-decision double-delivers each commit decision while
+        deliveries fan out concurrently; the engines must apply each
+        gtid exactly once."""
+        plan = FaultPlan(
+            [FaultSpec("net-dup-decision", probability=1.0)], seed=3
+        )
+        with Cluster(2, customers=4) as cluster:
+            conn = cluster.connect(fault_plan=plan)
+            try:
+                session = conn.session()
+                session.begin("CrossTransfer")
+                session.update("Checking", 1, {"Balance": 111.0})
+                session.update("Checking", 2, {"Balance": 222.0})
+                session.commit()
+                session.close()
+                counters = conn.counters()
+                with conn.transaction("Check") as txn:
+                    assert txn.select("Checking", 1)["Balance"] == 111.0
+                    assert txn.select("Checking", 2)["Balance"] == 222.0
+            finally:
+                conn.close()
+            assert counters["twopc_commits"] == 1
+            assert plan.fired("net-dup-decision") == 2  # one per shard
+            assert cluster.pending_2pc_gtids() == set()

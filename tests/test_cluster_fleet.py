@@ -1,0 +1,210 @@
+"""Multi-process shard fleet: slice parity, control channel, certification.
+
+Three layers, cheapest first: the standalone entrypoint's shard-slice
+builder must be bit-identical to the in-process partitioner (no
+subprocess needed to check that); the serialization helpers that ship
+histories and fault plans across the process boundary must round-trip;
+then one real :class:`~repro.cluster.ShardProcess` and a full
+:class:`~repro.cluster.ProcessCluster` exercise spawn, readiness,
+engine-level crash/recovery over the control channel, MPL-8 workload
+certification of the merged MVSG, and leak-free teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis import (
+    committed_from_dict,
+    committed_to_dict,
+    dump_history_jsonl,
+    load_history_jsonl,
+    merge_shard_histories,
+    record_database,
+)
+from repro.api import ISOLATION_CONFIGS
+from repro.cluster import ProcessCluster, ShardProcess, build_shard_database
+from repro.cluster.partition import PARTITION_COLUMNS
+from repro.engine import Session
+from repro.faults import FaultPlan, FaultSpec, plan_from_json
+from repro.net.__main__ import build_served_database
+from repro.smallbank import PopulationConfig, build_database
+from repro.workload.driver import ThreadedDriver, ThreadedDriverConfig
+
+
+def _table_contents(db) -> dict:
+    """Every row of every SmallBank table, for whole-database equality."""
+    txn = db.begin("audit")
+    contents = {
+        table: sorted(
+            (repr(key), sorted(row.items()))
+            for key, row in db.scan(txn, table)
+        )
+        for table in PARTITION_COLUMNS
+    }
+    db.commit(txn)
+    return contents
+
+
+class TestSlicePopulationParity:
+    def test_standalone_slice_is_bit_identical_to_the_partitioner(self):
+        """A ``python -m repro.net --shard-index i --shard-count n`` child
+        must self-populate exactly the slice ``build_shard_database``
+        would hand an in-process shard — same rows, same balances (the
+        partitioner burns RNG draws for skipped customers to keep the
+        stream aligned)."""
+        population = PopulationConfig(customers=17, seed=4242)
+        for shard_index in range(3):
+            expected = build_shard_database(
+                ISOLATION_CONFIGS["si"](),
+                population,
+                shard_index=shard_index,
+                shard_count=3,
+            )
+            standalone = build_served_database(
+                customers=17,
+                isolation="si",
+                seed=4242,
+                shard_index=shard_index,
+                shard_count=3,
+            )
+            assert _table_contents(standalone) == _table_contents(expected)
+
+    def test_single_shard_matches_the_plain_population(self):
+        expected = build_database(
+            ISOLATION_CONFIGS["si"](), PopulationConfig(customers=9)
+        )
+        standalone = build_served_database(customers=9, isolation="si")
+        assert _table_contents(standalone) == _table_contents(expected)
+
+    def test_unknown_partitioner_is_rejected(self):
+        with pytest.raises(ValueError, match="partitioner"):
+            build_served_database(customers=4, partitioner="range")
+
+
+class TestCrossProcessSerialization:
+    def test_fault_plan_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("net-drop-frame", probability=0.25, start_after=10),
+                FaultSpec("wal-stall", magnitude=0.5, max_fires=3),
+            ],
+            seed=99,
+        )
+        clone = plan_from_json(plan.to_json())
+        assert clone.to_json() == plan.to_json()
+        assert clone.seed == 99
+        assert clone.magnitude("wal-stall") == 0.5
+        # Same seed => same draw sequence from a fresh start.
+        draws = [plan.should_fire("net-drop-frame") for _ in range(40)]
+        clone_draws = [clone.should_fire("net-drop-frame") for _ in range(40)]
+        assert draws == clone_draws
+
+    def test_history_jsonl_round_trip(self, tmp_path):
+        db = build_database(None, PopulationConfig(customers=3))
+        recorder = record_database(db)
+        session = Session(db)
+        session.begin("Writer")
+        session.update("Checking", 1, {"Balance": 77.0})
+        session.commit()
+        session.begin("Reader")
+        session.select("Checking", 1)
+        session.scan("Checking", lambda row: row["Balance"] > 0, "rich")
+        session.commit()
+        committed = recorder.committed
+        assert committed
+        for txn in committed:  # dict encoding inverts exactly
+            assert committed_from_dict(committed_to_dict(txn)) == txn
+        path = tmp_path / "history.jsonl"
+        assert dump_history_jsonl(str(path), committed) == len(committed)
+        assert load_history_jsonl(str(path)) == committed
+
+
+class TestShardProcess:
+    def test_spawn_serve_crash_recover_dump_shutdown(self, tmp_path):
+        """One child through its whole lifecycle: readiness, wire reads,
+        an engine crash + same-port recovery driven over the control
+        channel, a history dump, and a clean (unkilled) exit."""
+        shard = ShardProcess(0, 2, customers=8, seed=7)
+        try:
+            host, port = shard.wait_ready()
+            assert shard.ping()
+            with repro.connect(f"tcp://{host}:{port}") as conn:
+                with conn.transaction("Deposit") as txn:
+                    # Customer 2 hashes to shard 0 of 2.
+                    before = txn.select("Checking", 2)["Balance"]
+                    txn.update("Checking", 2, {"Balance": before + 10.0})
+            shard.crash()
+            assert shard.crashed
+            assert shard.recover() == (host, port)  # same port, recovered
+            with repro.connect(f"tcp://{host}:{port}") as conn:
+                with conn.transaction("Check") as txn:
+                    assert txn.select("Checking", 2)["Balance"] == (
+                        before + 10.0
+                    )
+                # A post-recovery *write* (read-only COMMITs are deferred
+                # client-side and may never reach the shard): proves the
+                # recorder carried over to the recovered engine.
+                with conn.transaction("PostRecovery") as txn:
+                    txn.update("Checking", 2, {"Balance": before + 20.0})
+            dump = tmp_path / "shard0.jsonl"
+            count = shard.dump_history(str(dump))
+            assert count >= 2  # salvaged deposit + post-recovery write
+            labels = {txn.label for txn in load_history_jsonl(str(dump))}
+            assert {"Deposit", "PostRecovery"} <= labels
+        finally:
+            shard.shutdown()
+        assert not shard.alive
+        assert shard.kill_count == 0
+        assert shard.stats is not None  # graceful exits report STATS
+
+
+class TestProcessCluster:
+    def test_mpl8_workload_certifies_and_leaves_no_orphans(self):
+        """The multi-process acceptance check, miniaturised: an MPL-8
+        uniform mix over a 2-shard fleet of OS processes, merged MVSG
+        acyclic under promote-all, no gtid left prepared or in doubt,
+        and zero orphaned or force-killed shard processes after
+        shutdown.  (The uniform mix deposits money, so there is no
+        ledger-conservation check here — that is the chaos harness's
+        Balance+Amalgamate mix.)"""
+        from repro.smallbank import get_strategy
+
+        with ProcessCluster(2, customers=20, seed=13) as cluster:
+            conn = cluster.connect()
+            try:
+                stats = ThreadedDriver(
+                    None,
+                    get_strategy("promote-all").transactions(),
+                    ThreadedDriverConfig(
+                        mpl=8,
+                        customers=20,
+                        hotspot=5,
+                        mix="uniform",
+                        duration=0.6,
+                        seed=3,
+                    ),
+                    connection=conn,
+                ).run()
+                conn.flush()
+                counters = conn.counters()
+            finally:
+                conn.close()
+            assert stats.total_commits > 0
+            assert cluster.pending_2pc_gtids() == set()
+            report = merge_shard_histories(cluster.histories())
+            assert report.serializable, report.describe()
+            # The uniform mix's Amalgamates produce real cross-shard 2PC.
+            assert counters["twopc_commits"] + counters["twopc_aborts"] > 0
+        assert cluster.fleet.alive_count == 0
+        assert cluster.fleet.kill_count == 0
+
+    def test_crash_recover_cycle_preserves_the_ledger(self):
+        with ProcessCluster(2, customers=10, seed=5) as cluster:
+            initial = cluster.total_money()
+            cluster.crash_shard(1)
+            assert cluster.recover_crashed() == 1
+            assert cluster.restart_count == 1
+            assert cluster.total_money() == initial
+        assert cluster.fleet.alive_count == 0
